@@ -1,0 +1,84 @@
+/// \file ablation_crout_policy.cpp
+/// Ablation: CRout VC discipline inside SurePath. Table 4 keeps each base
+/// routing's own VC convention; this bench measures why: Omnidimensional's
+/// short bounded routes thrive on free VC choice, while Polarized's long
+/// exploratory routes need the hop-ladder rung to avoid cyclic buffer
+/// waits that drain only at escape speed (see DESIGN.md).
+///
+/// Usage: ablation_crout_policy [--paper] [--csv=file] [--seed=N]
+
+#include "bench_util.hpp"
+#include "core/surepath.hpp"
+#include "routing/omnidimensional.hpp"
+#include "routing/polarized.hpp"
+
+using namespace hxsp;
+
+namespace {
+
+std::unique_ptr<RouteAlgorithm> make_base(const std::string& base) {
+  if (base == "omni") return std::make_unique<OmnidimensionalAlgorithm>();
+  return std::make_unique<PolarizedAlgorithm>();
+}
+
+const char* policy_name(CRoutVcPolicy p) {
+  switch (p) {
+    case CRoutVcPolicy::Free: return "free";
+    case CRoutVcPolicy::Monotone: return "monotone";
+    case CRoutVcPolicy::Rung: return "rung";
+  }
+  return "?";
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  const Options opt(argc, argv);
+  const bool paper = opt.get_bool("paper", false);
+  ExperimentSpec spec = spec_from_options(opt, 2);
+  bench::quick_cycles(opt, paper, spec);
+
+  bench::banner("Ablation — SurePath CRout VC policy x base routing "
+                "(saturation, uniform)",
+                spec);
+
+  const int sps = spec.servers_per_switch < 0 ? spec.sides[0]
+                                              : spec.servers_per_switch;
+  Table t({"base", "policy", "accepted", "generated", "escape_frac"});
+  for (const auto& base : {std::string("omni"), std::string("pol")}) {
+    for (CRoutVcPolicy policy :
+         {CRoutVcPolicy::Free, CRoutVcPolicy::Monotone, CRoutVcPolicy::Rung}) {
+      HyperX hx(spec.sides, sps);
+      DistanceTable dist(hx.graph());
+      EscapeUpDown esc(hx.graph(), {.root = spec.escape_root,
+                                    .strict_phase = spec.escape_strict_phase,
+                                    .penalties = spec.escape_penalties,
+                                    .use_shortcuts = spec.escape_shortcuts});
+      SurePathMechanism mech(make_base(base), "SP", policy);
+      NetworkContext ctx{&hx.graph(), &hx, &dist, &esc, spec.sim.num_vcs,
+                         spec.sim.packet_length};
+      Rng seed(spec.seed);
+      auto traffic = make_traffic("uniform", hx, seed);
+      Network net(ctx, mech, *traffic, spec.sim, sps, spec.seed * 77 + 1);
+      net.set_offered_load(1.0);
+      net.run_cycles(spec.warmup);
+      net.begin_window();
+      net.run_cycles(spec.measure);
+      net.end_window();
+      std::printf("base=%-5s policy=%-9s acc=%.3f gen=%.3f esc=%.3f\n",
+                  base.c_str(), policy_name(policy),
+                  net.metrics().accepted_load(), net.metrics().generated_load(),
+                  net.metrics().escape_hop_fraction());
+      t.row().cell(base).cell(policy_name(policy))
+          .cell(net.metrics().accepted_load(), 4)
+          .cell(net.metrics().generated_load(), 4)
+          .cell(net.metrics().escape_hop_fraction(), 4);
+      std::fflush(stdout);
+    }
+  }
+  std::printf("\nShipped defaults: OmniSP = free, PolSP = rung (the best cell\n"
+              "of each row).\n");
+  bench::maybe_csv(opt, t, "ablation_crout_policy.csv");
+  opt.warn_unknown();
+  return 0;
+}

@@ -1,0 +1,82 @@
+#pragma once
+/// \file bench_util.hpp
+/// Shared plumbing for the figure/table reproduction benches: standard
+/// header banner, CSV emission, and the mechanism/pattern grids the
+/// paper's evaluation sweeps over.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness/presets.hpp"
+#include "util/log.hpp"
+#include "util/table.hpp"
+
+namespace hxsp::bench {
+
+/// Prints the standard bench banner: what paper artefact this reproduces,
+/// at which scale, with which simulation parameters.
+inline void banner(const std::string& what, const ExperimentSpec& spec) {
+  std::string sides;
+  for (std::size_t i = 0; i < spec.sides.size(); ++i) {
+    if (i) sides += "x";
+    sides += std::to_string(spec.sides[i]);
+  }
+  std::printf("==============================================================\n");
+  std::printf("%s\n", what.c_str());
+  std::printf("Topology: HyperX %s | VCs: %d | warmup %ld, measure %ld cycles\n",
+              sides.c_str(), spec.sim.num_vcs, static_cast<long>(spec.warmup),
+              static_cast<long>(spec.measure));
+  std::printf("%s\n", describe_sim_parameters(spec.sim).c_str());
+  std::printf("==============================================================\n");
+}
+
+/// Writes \p t as CSV to \p path when --csv was passed, and says so.
+inline void maybe_csv(const Options& opt, const Table& t,
+                      const std::string& default_name) {
+  const std::string path = opt.get("csv", "");
+  if (path.empty()) return;
+  const std::string file = path == "1" || path.empty() ? default_name : path;
+  if (t.write_csv(file))
+    std::printf("(wrote %s)\n", file.c_str());
+  else
+    std::fprintf(stderr, "could not write %s\n", file.c_str());
+}
+
+/// The six mechanisms of the paper's fault-free comparison (Table 4).
+inline std::vector<std::string> paper_mechanisms() {
+  return {"minimal", "valiant", "omniwar", "polarized", "omnisp", "polsp"};
+}
+
+/// The SurePath configurations of the fault studies (§6).
+inline std::vector<std::string> surepath_mechanisms() {
+  return {"omnisp", "polsp"};
+}
+
+/// Patterns of the 2D evaluation (Fig 4).
+inline std::vector<std::string> patterns_2d() { return {"uniform", "rsp", "dcr"}; }
+
+/// Patterns of the 3D evaluation (Fig 5).
+inline std::vector<std::string> patterns_3d() {
+  return {"uniform", "rsp", "dcr", "rpn"};
+}
+
+/// Default load sweep for bench runs: coarse by default, the paper's grid
+/// with --paper, overridable with --loads=...
+inline std::vector<double> load_sweep(const Options& opt, bool paper) {
+  const std::vector<double> dflt =
+      paper ? default_loads(true)
+            : std::vector<double>{0.2, 0.4, 0.6, 0.8, 0.9, 1.0};
+  return opt.get_double_list("loads", dflt);
+}
+
+/// Shrinks the default cycle counts for multi-hundred-point sweeps so the
+/// whole bench suite stays minutes-scale on one core (--paper restores the
+/// preset's full counts; --warmup/--measure always win).
+inline void quick_cycles(const Options& opt, bool paper, ExperimentSpec& spec) {
+  if (paper) return;
+  spec.warmup = opt.get_int("warmup", 1500);
+  spec.measure = opt.get_int("measure", 3000);
+}
+
+} // namespace hxsp::bench

@@ -1,0 +1,81 @@
+/// \file ext_dynamic_faults.cpp
+/// Extension study: *online* fault injection. The paper evaluates static
+/// fault sets ("the escape subnetwork would be built considering the
+/// faults") and argues that recovery is a BFS table rebuild (§1, §3).
+/// This bench performs that rebuild live: links die mid-simulation, the
+/// distance/escape tables are recomputed, packets stranded on the dead
+/// wire are dropped, and traffic continues. It reports the throughput
+/// trace around each failure plus the steady state reached, and compares
+/// against a run with the same faults applied statically (the end states
+/// should agree — recovery converges).
+///
+/// Usage: ext_dynamic_faults [--paper] [--faults=N] [--csv=file] [--seed=N]
+
+#include "bench_util.hpp"
+#include "topology/faults.hpp"
+
+using namespace hxsp;
+
+int main(int argc, char** argv) {
+  const Options opt(argc, argv);
+  const bool paper = opt.get_bool("paper", false);
+  ExperimentSpec base = spec_from_options(opt, 2);
+  if (!paper) {
+    base.warmup = opt.get_int("warmup", 2000);
+    base.measure = opt.get_int("measure", 12000);
+  }
+  base.sim.num_vcs = static_cast<int>(opt.get_int("vcs", 4));
+  const int nfaults = static_cast<int>(opt.get_int("faults", 6));
+
+  bench::banner("Extension — online link failures with live BFS recovery",
+                base);
+
+  const int sps =
+      base.servers_per_switch < 0 ? base.sides[0] : base.servers_per_switch;
+  HyperX scratch(base.sides, sps);
+  Rng frng(base.seed + 17);
+  const auto links = random_fault_links(scratch.graph(), nfaults, frng, true);
+
+  Table t({"mechanism", "mode", "accepted", "dropped", "escape_frac"});
+  for (const auto& mech : bench::surepath_mechanisms()) {
+    // Dynamic: one failure every measure/(n+1) cycles inside the window.
+    ExperimentSpec s = base;
+    s.mechanism = mech;
+    s.pattern = "uniform";
+    Experiment e(s);
+    std::vector<FaultEvent> events;
+    for (int i = 0; i < nfaults; ++i)
+      events.push_back({base.warmup + (i + 1) * base.measure / (nfaults + 1),
+                        links[static_cast<std::size_t>(i)]});
+    const DynamicResult dyn = e.run_load_dynamic(0.7, events);
+
+    std::printf("%s dynamic: accepted=%.3f dropped=%ld esc=%.3f\n",
+                dyn.row.mechanism.c_str(), dyn.row.accepted, dyn.dropped,
+                dyn.row.escape_frac);
+    std::printf("  throughput trace (phits/cycle/server per %ld-cycle bucket):\n  ",
+                static_cast<long>(dyn.series.width()));
+    for (std::size_t b = 0; b < dyn.series.num_buckets(); ++b)
+      std::printf("%.2f ", dyn.series.rate(b, dyn.num_servers));
+    std::printf("\n");
+    t.row().cell(dyn.row.mechanism).cell("dynamic").cell(dyn.row.accepted, 4)
+        .cell(dyn.dropped).cell(dyn.row.escape_frac, 4);
+
+    // Static reference: same faults from cycle 0.
+    ExperimentSpec st = s;
+    st.fault_links = links;
+    Experiment es(st);
+    const ResultRow ref = es.run_load(0.7);
+    std::printf("%s static reference: accepted=%.3f esc=%.3f\n\n",
+                ref.mechanism.c_str(), ref.accepted, ref.escape_frac);
+    t.row().cell(ref.mechanism).cell("static").cell(ref.accepted, 4).cell(0L)
+        .cell(ref.escape_frac, 4);
+    std::fflush(stdout);
+  }
+  std::printf("Expectation: a brief dip and a handful of dropped packets per\n"
+              "failure, then dynamic throughput converges to the static\n"
+              "reference — \"the whole mechanism is guaranteed to work while\n"
+              "there are possible paths\" (§1).\n");
+  bench::maybe_csv(opt, t, "ext_dynamic_faults.csv");
+  opt.warn_unknown();
+  return 0;
+}

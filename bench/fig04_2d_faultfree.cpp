@@ -1,0 +1,64 @@
+/// \file fig04_2d_faultfree.cpp
+/// Reproduces paper Figure 4: fault-free 2D HyperX performance — accepted
+/// throughput, average message latency and Jain index of generated load
+/// versus offered load, for the six routing mechanisms under Uniform,
+/// Random Server Permutation and Dimension Complement Reverse traffic.
+///
+/// Default: reduced scale (8x8, shortened cycles). --paper: 16x16 with the
+/// paper's measurement windows.
+///
+/// Usage: fig04_2d_faultfree [--paper] [--loads=..] [--mechs=..]
+///                           [--patterns=..] [--csv=file] [--seed=N]
+
+#include "bench_util.hpp"
+
+using namespace hxsp;
+
+int main(int argc, char** argv) {
+  const Options opt(argc, argv);
+  const bool paper = opt.get_bool("paper", false);
+  ExperimentSpec base = spec_from_options(opt, 2);
+  bench::quick_cycles(opt, paper, base);
+
+  const auto mechs = opt.get_list("mechs", bench::paper_mechanisms());
+  const auto patterns = opt.get_list("patterns", bench::patterns_2d());
+  const auto loads = bench::load_sweep(opt, paper);
+
+  bench::banner("Figure 4 — 2D HyperX, fault-free: throughput / latency / "
+                "Jain vs offered load",
+                base);
+
+  Table t({"pattern", "mechanism", "offered", "accepted", "avg_latency",
+           "jain", "escape_frac"});
+  for (const auto& pattern : patterns) {
+    std::printf("\n--- pattern: %s ---\n", pattern.c_str());
+    std::printf("%-10s", "mech\\load");
+    for (double l : loads) std::printf(" %9.2f", l);
+    std::printf("\n");
+    for (const auto& mech : mechs) {
+      ExperimentSpec s = base;
+      s.mechanism = mech;
+      s.pattern = pattern;
+      Experiment e(s);
+      std::printf("%-10s", mechanism_display_name(mech).c_str());
+      for (double load : loads) {
+        const ResultRow r = e.run_load(load);
+        std::printf(" %9.3f", r.accepted);
+        t.row().cell(pattern).cell(r.mechanism).cell(r.offered, 2)
+            .cell(r.accepted, 4).cell(r.avg_latency, 1).cell(r.jain, 4)
+            .cell(r.escape_frac, 4);
+      }
+      std::printf("  (accepted)\n");
+      std::fflush(stdout);
+    }
+  }
+  std::printf("\nFull rows (accepted / latency / jain):\n\n%s\n", t.str().c_str());
+  std::printf("Paper shape check: all mechanisms except Valiant reach high\n"
+              "throughput on Uniform; Valiant sits near 0.5; Minimal\n"
+              "collapses on DCR while Valiant achieves its optimal 0.5 and\n"
+              "the adaptive mechanisms match it; OmniSP/PolSP track their\n"
+              "ladder counterparts.\n");
+  bench::maybe_csv(opt, t, "fig04_2d_faultfree.csv");
+  opt.warn_unknown();
+  return 0;
+}

@@ -1,0 +1,88 @@
+/// \file fig06_random_faults.cpp
+/// Reproduces paper Figure 6: saturation throughput of OmniSP and PolSP
+/// under a growing sequence of random link faults, on 2D and 3D HyperX,
+/// for every traffic pattern. SurePath uses 4 VCs here (3 routing + 1
+/// escape) exactly as in the paper's fault experiments.
+///
+/// The fault counts are a prefix sequence: fault set at step i+1 contains
+/// the set at step i, like the paper's cumulative experiment. At reduced
+/// scale the counts are scaled to keep the same *fraction* of faulty
+/// links; --paper uses 0..100 step 10 on the paper topologies.
+///
+/// Usage: fig06_random_faults [--paper] [--dims=2|3|0 (both)]
+///                            [--max-faults=N] [--steps=N] [--seed=N]
+///                            [--csv=file]
+
+#include "bench_util.hpp"
+#include "topology/faults.hpp"
+
+using namespace hxsp;
+
+namespace {
+
+void run_dim(const Options& opt, int dims, bool paper, Table& t) {
+  ExperimentSpec base = spec_from_options(opt, dims);
+  bench::quick_cycles(opt, paper, base);
+  base.sim.num_vcs = static_cast<int>(opt.get_int("vcs", 4)); // paper §6: 4 VCs
+
+  // Build the shared fault sequence on a scratch topology.
+  HyperX scratch(base.sides, base.servers_per_switch < 0 ? base.sides[0]
+                                                         : base.servers_per_switch);
+  Rng frng(base.seed + 1000);
+  const auto seq = random_fault_sequence(scratch.graph(), frng);
+
+  // Paper: 0..100 faults step 10 (2.6% of 2D links, 1.9% of 3D links).
+  // Reduced: same fraction of this topology's links, 10 steps.
+  int max_faults = static_cast<int>(opt.get_int(
+      "max-faults",
+      paper ? 100 : std::max(10, scratch.graph().num_links() * 100 / 3840)));
+  const int steps = static_cast<int>(opt.get_int("steps", 10));
+
+  const auto patterns = dims == 3 ? bench::patterns_3d() : bench::patterns_2d();
+  std::printf("\n=== %dD HyperX (%d links, faults 0..%d) ===\n", dims,
+              scratch.graph().num_links(), max_faults);
+  std::printf("%-8s %-26s", "faults", "mech/pattern:");
+  std::printf(" accepted load at offered 1.0\n");
+
+  for (int step = 0; step <= steps; ++step) {
+    const int faults = max_faults * step / steps;
+    ExperimentSpec s = base;
+    s.fault_links.assign(seq.begin(), seq.begin() + faults);
+    for (const auto& mech : bench::surepath_mechanisms()) {
+      for (const auto& pattern : patterns) {
+        s.mechanism = mech;
+        s.pattern = pattern;
+        Experiment e(s);
+        const ResultRow r = e.run_load(1.0);
+        std::printf("%-8d %-10s %-14s acc=%.3f esc=%.3f forced=%.4f\n", faults,
+                    r.mechanism.c_str(), pattern.c_str(), r.accepted,
+                    r.escape_frac, r.forced_frac);
+        t.row().cell(static_cast<long>(dims)).cell(static_cast<long>(faults))
+            .cell(r.mechanism).cell(pattern).cell(r.accepted, 4)
+            .cell(r.escape_frac, 4).cell(r.forced_frac, 4);
+        std::fflush(stdout);
+      }
+    }
+  }
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  const Options opt(argc, argv);
+  const bool paper = opt.get_bool("paper", false);
+  const int dims = static_cast<int>(opt.get_int("dims", 0));
+
+  std::printf("Figure 6 — Throughput for successive random failures "
+              "(OmniSP/PolSP, offered load 1.0)\n");
+  std::printf("Paper shape: smooth degradation; Uniform drops roughly 0.9 to "
+              "0.8 over the sweep, other patterns barely move.\n");
+
+  Table t({"dims", "faults", "mechanism", "pattern", "accepted", "escape_frac",
+           "forced_frac"});
+  if (dims == 0 || dims == 2) run_dim(opt, 2, paper, t);
+  if (dims == 0 || dims == 3) run_dim(opt, 3, paper, t);
+  bench::maybe_csv(opt, t, "fig06_random_faults.csv");
+  opt.warn_unknown();
+  return 0;
+}

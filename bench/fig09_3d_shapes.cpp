@@ -1,0 +1,87 @@
+/// \file fig09_3d_shapes.cpp
+/// Reproduces paper Figure 9: saturation throughput of OmniSP and PolSP on
+/// the 3D HyperX under shaped fault regions — Row (K8, 28 links), Subcube
+/// (3x3x3, 81 links) and Star (three 7-switch segments, 63 links, leaving
+/// the escape root with only 3 alive links) — for all four patterns, with
+/// healthy references.
+///
+/// Usage: fig09_3d_shapes [--paper] [--csv=file] [--seed=N]
+
+#include "bench_util.hpp"
+#include "topology/faults.hpp"
+
+using namespace hxsp;
+
+int main(int argc, char** argv) {
+  const Options opt(argc, argv);
+  const bool paper = opt.get_bool("paper", false);
+  ExperimentSpec base = spec_from_options(opt, 3);
+  bench::quick_cycles(opt, paper, base);
+  base.sim.num_vcs = static_cast<int>(opt.get_int("vcs", 4));
+
+  const int side = base.sides[0];
+  HyperX scratch(base.sides,
+                 base.servers_per_switch < 0 ? side : base.servers_per_switch);
+
+  const int sub = std::max(2, side * 3 / 8);  // 3 at side 8
+  const int seg = std::max(2, side - 1);      // 7 at side 8: root keeps n links
+  const SwitchId center = scratch.switch_at(
+      std::vector<int>(3, side / 2));
+
+  struct Shape {
+    const char* name;
+    ShapeFault fault;
+  };
+  std::vector<Shape> shapes;
+  shapes.push_back({"Row", row_fault(scratch, 0, {0, side / 2, side / 2})});
+  shapes.push_back({"Subcube", subcube_fault(scratch, {0, 0, 0}, {sub, sub, sub})});
+  shapes.push_back({"Star", star_fault(scratch, center, seg)});
+
+  bench::banner("Figure 9 — 3D HyperX with shaped fault regions "
+                "(root inside the fault set)",
+                base);
+  {
+    Graph g = scratch.graph();
+    apply_faults(g, shapes.back().fault.links);
+    std::printf("Star sanity: root alive links = %d (paper: 3)\n\n",
+                g.alive_degree(center));
+  }
+
+  Table t({"shape", "faulty_links", "mechanism", "pattern", "accepted",
+           "healthy", "degradation", "escape_frac"});
+  for (const auto& mech : bench::surepath_mechanisms()) {
+    for (const auto& pattern : bench::patterns_3d()) {
+      ExperimentSpec h = base;
+      h.mechanism = mech;
+      h.pattern = pattern;
+      Experiment ehealthy(h);
+      const double healthy = ehealthy.run_load(1.0).accepted;
+
+      for (const auto& shape : shapes) {
+        ExperimentSpec s = base;
+        s.mechanism = mech;
+        s.pattern = pattern;
+        s.fault_links = shape.fault.links;
+        s.escape_root = shape.fault.suggested_root;
+        Experiment e(s);
+        const ResultRow r = e.run_load(1.0);
+        const double deg = healthy > 0 ? 1.0 - r.accepted / healthy : 0.0;
+        std::printf("%-8s %-8s %-10s faults=%-4zu acc=%.3f healthy=%.3f "
+                    "degradation=%4.1f%% esc=%.3f\n",
+                    shape.name, pattern.c_str(), r.mechanism.c_str(),
+                    shape.fault.links.size(), r.accepted, healthy, 100 * deg,
+                    r.escape_frac);
+        t.row().cell(shape.name).cell(static_cast<long>(shape.fault.links.size()))
+            .cell(r.mechanism).cell(pattern).cell(r.accepted, 4)
+            .cell(healthy, 4).cell(deg, 4).cell(r.escape_frac, 4);
+        std::fflush(stdout);
+      }
+    }
+  }
+  std::printf("\nPaper shape check: Row/Subcube behave like the 2D case; the\n"
+              "RPN pattern keeps PolSP ahead except under Star faults, where\n"
+              "in-cast at the 3-link root changes the picture (see Fig 10).\n");
+  bench::maybe_csv(opt, t, "fig09_3d_shapes.csv");
+  opt.warn_unknown();
+  return 0;
+}

@@ -1,0 +1,97 @@
+/// \file custom_topology.cpp
+/// SurePath beyond HyperX (paper §7: the escape subnetwork "is defined
+/// without any specific knowledge of the underlying topology"). This
+/// example assembles a network manually — graph, distance tables, escape,
+/// mechanism, traffic — instead of using the Experiment facade, and runs
+/// SurePath-over-Minimal on a random regular graph and on a torus. It
+/// also shows how to implement a custom TrafficPattern.
+///
+/// Run: ./examples/custom_topology
+
+#include <cstdio>
+
+#include "core/surepath.hpp"
+#include "metrics/report.hpp"
+#include "routing/minimal.hpp"
+#include "sim/network.hpp"
+#include "topology/builders.hpp"
+#include "topology/distance.hpp"
+
+using namespace hxsp;
+
+namespace {
+
+/// A custom pattern: server i sends to server (i + stride) mod n.
+class StridePattern final : public TrafficPattern {
+ public:
+  StridePattern(ServerId n, ServerId stride) : n_(n), stride_(stride) {}
+  ServerId destination(ServerId src, Rng&) const override {
+    return static_cast<ServerId>((src + stride_) % n_);
+  }
+  std::string name() const override { return "stride"; }
+  std::string display_name() const override { return "Stride"; }
+
+ private:
+  ServerId n_;
+  ServerId stride_;
+};
+
+void run_on(const char* title, Graph graph, int servers_per_switch) {
+  // Sever a few links to prove fault tolerance on the custom topology too.
+  Rng frng(11);
+  int removed = 0;
+  for (int tries = 0; removed < 3 && tries < 100; ++tries) {
+    const LinkId l = static_cast<LinkId>(
+        frng.next_below(static_cast<std::uint64_t>(graph.num_links())));
+    if (!graph.link_alive(l)) continue;
+    graph.fail_link(l);
+    if (graph.connected()) {
+      ++removed;
+    } else {
+      graph.restore_link(l);
+    }
+  }
+
+  DistanceTable dist(graph);
+  EscapeUpDown escape(graph, {.root = 0, .strict_phase = true, .penalties = {}, .use_shortcuts = true});
+  SurePathMechanism mech(std::make_unique<MinimalAlgorithm>(), "MinSP",
+                         CRoutVcPolicy::Free);
+
+  SimConfig cfg;
+  cfg.num_vcs = 3; // 2 routing + 1 escape: SurePath's minimum is 2
+  NetworkContext ctx{&graph, /*hyperx=*/nullptr, &dist, &escape, cfg.num_vcs,
+                     cfg.packet_length};
+
+  const ServerId n_servers =
+      static_cast<ServerId>(graph.num_switches()) * servers_per_switch;
+  StridePattern traffic(n_servers, n_servers / 2 + 1);
+  Network net(ctx, mech, traffic, cfg, servers_per_switch, /*seed=*/99);
+
+  net.set_offered_load(0.6);
+  net.run_cycles(2000);
+  net.begin_window();
+  net.run_cycles(4000);
+  net.end_window();
+
+  ResultRow r;
+  r.from_metrics(net.metrics());
+  std::printf("%-28s switches=%3d links=%3d (3 failed) diameter=%d | "
+              "accepted %.3f | latency %.1f | escape %4.1f%%\n",
+              title, graph.num_switches(), graph.num_links(), dist.diameter(),
+              r.accepted, r.avg_latency, 100 * r.escape_frac);
+}
+
+} // namespace
+
+int main() {
+  std::printf("SurePath on non-HyperX topologies (escape is topology-"
+              "agnostic, paper §7)\n\n");
+  Rng rng(5);
+  run_on("random 4-regular, 32 nodes:", make_random_regular(32, 4, rng), 4);
+  run_on("6x6 torus:", make_torus(6, 6), 4);
+  run_on("complete graph K12:", make_complete(12), 4);
+  std::printf("\nNote the escape share: on topologies whose escape contains\n"
+              "few shortest paths (torus), more load pays the Up/Down detour\n"
+              "— exactly the caveat the paper raises for Dragonflies.\n");
+  return 0;
+}

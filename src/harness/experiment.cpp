@@ -1,0 +1,183 @@
+#include "harness/experiment.hpp"
+
+#include <algorithm>
+
+#include "util/log.hpp"
+
+namespace hxsp {
+
+Experiment::Experiment(const ExperimentSpec& spec)
+    : spec_(spec), rng_(spec.seed) {
+  const int sps = spec_.servers_per_switch < 0 ? spec_.sides.at(0)
+                                               : spec_.servers_per_switch;
+  hx_ = std::make_unique<HyperX>(spec_.sides, sps);
+  apply_faults(hx_->graph(), spec_.fault_links);
+  HXSP_CHECK_MSG(hx_->graph().connected(),
+                 "fault set disconnects the network; experiment undefined");
+
+  dist_ = std::make_unique<DistanceTable>(hx_->graph());
+  mech_ = make_mechanism(spec_.mechanism);
+
+  if (mech_->needs_escape()) {
+    EscapeUpDown::Config ecfg;
+    ecfg.root = spec_.escape_root;
+    ecfg.strict_phase = spec_.escape_strict_phase;
+    ecfg.use_shortcuts = spec_.escape_shortcuts;
+    ecfg.penalties = spec_.escape_penalties;
+    escape_ = std::make_unique<EscapeUpDown>(hx_->graph(), ecfg);
+  }
+
+  Rng traffic_rng = rng_.fork(0x7F);
+  traffic_ = make_traffic(spec_.pattern, *hx_, traffic_rng);
+
+  ctx_.graph = &hx_->graph();
+  ctx_.hyperx = hx_.get();
+  ctx_.dist = dist_.get();
+  ctx_.escape = escape_.get();
+  ctx_.num_vcs = spec_.sim.num_vcs;
+  ctx_.packet_length = spec_.sim.packet_length;
+}
+
+ResultRow Experiment::run_load(double offered) {
+  return run_load_hotspots(offered, 0).first;
+}
+
+std::pair<ResultRow, std::vector<LinkStats::Entry>>
+Experiment::run_load_hotspots(double offered, int top_n) {
+  const int sps = hx_->servers_per_switch();
+  Network net(ctx_, *mech_, *traffic_, spec_.sim, sps,
+              rng_.fork(0x10AD).next_u64());
+  net.set_offered_load(offered);
+  net.run_cycles(spec_.warmup);
+  net.begin_window();
+  net.run_cycles(spec_.measure);
+  net.end_window();
+
+  ResultRow row;
+  row.mechanism = mech_->name();
+  row.pattern = spec_.pattern;
+  row.offered = offered;
+  row.from_metrics(net.metrics());
+  std::vector<LinkStats::Entry> hot;
+  if (top_n > 0) hot = net.link_stats().hottest(top_n, spec_.measure);
+  return {row, hot};
+}
+
+CompletionResult Experiment::run_completion(long packets_per_server,
+                                            Cycle bucket_width,
+                                            Cycle max_cycles) {
+  const int sps = hx_->servers_per_switch();
+  Network net(ctx_, *mech_, *traffic_, spec_.sim, sps,
+              rng_.fork(0xC0).next_u64());
+  CompletionResult res;
+  res.series = TimeSeries(bucket_width);
+  res.num_servers = net.num_servers();
+  net.attach_timeseries(&res.series);
+  net.set_completion_load(packets_per_server);
+  res.drained = net.run_until_drained(max_cycles);
+  res.completion_time = net.now();
+  return res;
+}
+
+DynamicResult Experiment::run_load_dynamic(double offered,
+                                           std::vector<FaultEvent> events) {
+  std::sort(events.begin(), events.end(),
+            [](const FaultEvent& a, const FaultEvent& b) { return a.at < b.at; });
+
+  const int sps = hx_->servers_per_switch();
+  Network net(ctx_, *mech_, *traffic_, spec_.sim, sps,
+              rng_.fork(0xD1).next_u64());
+  DynamicResult res;
+  res.num_servers = net.num_servers();
+  net.attach_timeseries(&res.series);
+  net.set_offered_load(offered);
+
+  auto rebuild_tables = [&] {
+    *dist_ = DistanceTable(hx_->graph());
+    if (escape_) {
+      EscapeUpDown::Config ecfg = escape_->config();
+      *escape_ = EscapeUpDown(hx_->graph(), ecfg);
+    }
+  };
+
+  std::size_t next = 0;
+  std::vector<LinkId> applied;
+  auto run_to = [&](Cycle target) {
+    while (next < events.size() && events[next].at <= target) {
+      net.run_cycles(std::max<Cycle>(0, events[next].at - net.now()));
+      const LinkId link = events[next].link;
+      if (hx_->graph().link_alive(link)) { // skip already-dead links
+        hx_->graph().fail_link(link);
+        HXSP_CHECK_MSG(hx_->graph().connected(),
+                       "dynamic fault would disconnect the network");
+        rebuild_tables();
+        net.on_link_failed(link);
+        applied.push_back(link);
+      }
+      ++next;
+    }
+    net.run_cycles(std::max<Cycle>(0, target - net.now()));
+  };
+
+  run_to(spec_.warmup);
+  net.begin_window();
+  run_to(spec_.warmup + spec_.measure);
+  net.end_window();
+
+  res.row.mechanism = mech_->name();
+  res.row.pattern = spec_.pattern;
+  res.row.offered = offered;
+  res.row.from_metrics(net.metrics());
+  res.dropped = net.dropped_packets();
+
+  // Restore the injected faults and the tables so later runs see the
+  // spec's static configuration again.
+  for (LinkId link : applied) hx_->graph().restore_link(link);
+  if (!applied.empty()) rebuild_tables();
+  return res;
+}
+
+int Experiment::walk_route(SwitchId src, SwitchId dst, int max_hops) {
+  Packet pkt;
+  pkt.id = -1;
+  pkt.src_server = hx_->server_at(src, 0);
+  pkt.dst_server = hx_->server_at(dst, 0);
+  pkt.src_switch = src;
+  pkt.dst_switch = dst;
+  pkt.length = spec_.sim.packet_length;
+  Rng walk_rng = rng_.fork(0x3A1C);
+  mech_->on_inject(ctx_, pkt, walk_rng);
+
+  SwitchId cur = src;
+  mech_->on_arrival(ctx_, pkt, cur);
+  int hops = 0;
+  std::vector<Candidate> cand;
+  while (cur != dst) {
+    if (hops >= max_hops) return -1;
+    cand.clear();
+    mech_->candidates(ctx_, pkt, cur, cand);
+    if (cand.empty()) return -1;
+    // Deterministic greedy walk: lowest penalty, then lowest port/vc.
+    const Candidate* best = &cand.front();
+    for (const Candidate& c : cand) {
+      if (c.penalty < best->penalty ||
+          (c.penalty == best->penalty &&
+           (c.port < best->port || (c.port == best->port && c.vc < best->vc))))
+        best = &c;
+    }
+    mech_->commit_hop(ctx_, pkt, cur, *best);
+    cur = ctx_.graph->port(cur, best->port).neighbor;
+    mech_->on_arrival(ctx_, pkt, cur);
+    ++hops;
+  }
+  return hops;
+}
+
+std::vector<ResultRow> sweep_loads(Experiment& e, const std::vector<double>& loads) {
+  std::vector<ResultRow> rows;
+  rows.reserve(loads.size());
+  for (double l : loads) rows.push_back(e.run_load(l));
+  return rows;
+}
+
+} // namespace hxsp

@@ -1,0 +1,130 @@
+#pragma once
+/// \file experiment.hpp
+/// Experiment assembly: one ExperimentSpec describes topology, faults,
+/// routing mechanism, traffic, VCs and run control; the Experiment class
+/// builds the long-lived pieces (HyperX, distance tables, escape
+/// subnetwork, mechanism, traffic) once and then runs independent
+/// simulations per load point — exactly the structure of every figure in
+/// the paper's evaluation.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/escape_updown.hpp"
+#include "metrics/report.hpp"
+#include "metrics/timeseries.hpp"
+#include "routing/factory.hpp"
+#include "sim/network.hpp"
+#include "topology/faults.hpp"
+
+namespace hxsp {
+
+/// Everything needed to reproduce one simulation configuration.
+struct ExperimentSpec {
+  // Topology.
+  std::vector<int> sides = {8, 8};  ///< HyperX sides
+  int servers_per_switch = -1;      ///< -1: use side (paper convention)
+
+  // Configuration under test.
+  std::string mechanism = "polsp";  ///< see make_mechanism()
+  std::string pattern = "uniform";  ///< see make_traffic()
+  SimConfig sim;                    ///< Table 2 defaults; sim.num_vcs matters
+
+  // Faults (applied before any table is computed).
+  std::vector<LinkId> fault_links;
+
+  // Escape subnetwork (used by omnisp/polsp). Strict phase is the default:
+  // it is provably deadlock-free and measurably outperforms the memoryless
+  // table rule at saturation in this simulator (see DESIGN.md).
+  SwitchId escape_root = 0;
+  bool escape_strict_phase = true;
+  bool escape_shortcuts = true;
+  EscapePenalties escape_penalties;
+
+  // Run control.
+  Cycle warmup = 4000;
+  Cycle measure = 8000;
+  std::uint64_t seed = 1;
+};
+
+/// A link failure injected while the simulation runs (extension of the
+/// paper's static-fault evaluation; exercises the "recompute the routing
+/// tables by BFS when the topology changes" recovery path online).
+struct FaultEvent {
+  Cycle at = 0;        ///< cycle at which the link dies
+  LinkId link = kInvalid;
+};
+
+/// Result of a dynamic-fault run.
+struct DynamicResult {
+  ResultRow row;           ///< steady-state metrics over the whole window
+  long dropped = 0;        ///< packets lost in dead-link output queues
+  TimeSeries series{500};  ///< consumed phits over time (dip visibility)
+  ServerId num_servers = 0;
+};
+
+/// Result of a completion-time run (paper Fig 10).
+struct CompletionResult {
+  bool drained = false;     ///< all packets consumed before the deadline
+  Cycle completion_time = 0;///< cycle of the last consumption
+  TimeSeries series{1000};  ///< consumed phits per time bucket
+  ServerId num_servers = 0; ///< for normalising the series to a rate
+};
+
+/// Builds and runs simulations for one spec. The topology/table/escape
+/// construction happens once in the constructor; each run_load() spins up
+/// a fresh Network (fresh buffers/rng) over the shared structures.
+class Experiment {
+ public:
+  explicit Experiment(const ExperimentSpec& spec);
+
+  /// One rate-mode simulation point at \p offered phits/cycle/server.
+  ResultRow run_load(double offered);
+
+  /// Like run_load, but also returns the \p top_n busiest directed links
+  /// over the measurement window (the paper's root-congestion analysis).
+  std::pair<ResultRow, std::vector<LinkStats::Entry>> run_load_hotspots(
+      double offered, int top_n);
+
+  /// A completion-mode run: every server sends \p packets_per_server
+  /// packets as fast as it can; at most \p max_cycles are simulated.
+  CompletionResult run_completion(long packets_per_server, Cycle bucket_width,
+                                  Cycle max_cycles);
+
+  /// Rate-mode run with online fault injection: each event kills a link at
+  /// its cycle, the distance tables and escape subnetwork are rebuilt by
+  /// BFS, packets queued on the dead wire are dropped, and the simulation
+  /// continues. Events must not disconnect the network (checked). The
+  /// injected faults are restored afterwards, so the Experiment remains
+  /// reusable.
+  DynamicResult run_load_dynamic(double offered, std::vector<FaultEvent> events);
+
+  /// Zero-load route walk: injects nothing, but follows the mechanism's
+  /// candidate sets greedily (lowest penalty, then lowest port) from
+  /// switch \p src to switch \p dst; returns the hop count or -1 when the
+  /// walk exceeds \p max_hops. Used by liveness tests and diagnostics.
+  int walk_route(SwitchId src, SwitchId dst, int max_hops);
+
+  const HyperX& hyperx() const { return *hx_; }
+  const DistanceTable& distances() const { return *dist_; }
+  const EscapeUpDown* escape() const { return escape_.get(); }
+  const NetworkContext& context() const { return ctx_; }
+  RoutingMechanism& mechanism() { return *mech_; }
+  const ExperimentSpec& spec() const { return spec_; }
+
+ private:
+  ExperimentSpec spec_;
+  std::unique_ptr<HyperX> hx_;
+  std::unique_ptr<DistanceTable> dist_;
+  std::unique_ptr<EscapeUpDown> escape_;
+  std::unique_ptr<RoutingMechanism> mech_;
+  std::unique_ptr<TrafficPattern> traffic_;
+  NetworkContext ctx_;
+  Rng rng_;
+};
+
+/// Runs run_load() for every load in \p loads (convenience for sweeps).
+std::vector<ResultRow> sweep_loads(Experiment& e, const std::vector<double>& loads);
+
+} // namespace hxsp

@@ -1,0 +1,38 @@
+#pragma once
+/// \file presets.hpp
+/// Canonical experiment configurations.
+///
+/// The paper evaluates a 2D HyperX of side 16 and a 3D HyperX of side 8
+/// (4096 servers each, Table 3). Those runs take minutes per point on one
+/// core, so every bench defaults to a *reduced* preset — same topology
+/// family, same VC budget, shorter warmup — that preserves all the
+/// qualitative results, and accepts --paper for the full-scale
+/// configuration. EXPERIMENTS.md records which scale produced each number.
+
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hpp"
+#include "util/options.hpp"
+
+namespace hxsp {
+
+/// 2D HyperX preset: paper scale = 16x16 (4 VCs), reduced = 8x8 (4 VCs).
+ExperimentSpec preset_2d(bool paper);
+
+/// 3D HyperX preset: paper scale = 8x8x8 (6 VCs), reduced = 4x4x4 (6 VCs).
+ExperimentSpec preset_3d(bool paper);
+
+/// Offered-load sweep used by the throughput/latency/Jain figures.
+std::vector<double> default_loads(bool paper);
+
+/// Applies the common bench CLI options to a spec:
+///   --paper, --side, --sps, --vcs, --warmup, --measure, --seed,
+///   --strict-escape, --no-shortcuts, --root.
+/// \p dims selects the base preset (2 or 3).
+ExperimentSpec spec_from_options(const Options& opt, int dims);
+
+/// Standard "Simulation parameters" header every bench prints (Table 2).
+std::string describe_sim_parameters(const SimConfig& cfg);
+
+} // namespace hxsp

@@ -1,0 +1,80 @@
+#include "metrics/linkstats.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace hxsp {
+
+LinkStats::LinkStats(const Graph& g) : graph_(&g) {
+  base_.resize(static_cast<std::size_t>(g.num_switches()) + 1);
+  base_[0] = 0;
+  for (SwitchId s = 0; s < g.num_switches(); ++s)
+    base_[static_cast<std::size_t>(s) + 1] =
+        base_[static_cast<std::size_t>(s)] + static_cast<std::size_t>(g.degree(s));
+  phits_.assign(base_.back(), 0);
+}
+
+void LinkStats::reset() { std::fill(phits_.begin(), phits_.end(), 0); }
+
+std::vector<LinkStats::Entry> LinkStats::hottest(int n, Cycle cycles) const {
+  HXSP_CHECK(enabled() && cycles > 0);
+  std::vector<Entry> all;
+  all.reserve(phits_.size());
+  for (SwitchId s = 0; s < graph_->num_switches(); ++s) {
+    for (Port p = 0; p < graph_->degree(s); ++p) {
+      const std::int64_t v = phits_[index(s, p)];
+      if (v == 0) continue;
+      all.push_back({s, p, graph_->port(s, p).neighbor,
+                     static_cast<double>(v) / static_cast<double>(cycles)});
+    }
+  }
+  const std::size_t keep = std::min<std::size_t>(all.size(),
+                                                 static_cast<std::size_t>(n));
+  std::partial_sort(all.begin(), all.begin() + static_cast<std::ptrdiff_t>(keep),
+                    all.end(),
+                    [](const Entry& a, const Entry& b) { return a.load > b.load; });
+  all.resize(keep);
+  return all;
+}
+
+double LinkStats::mean_load(Cycle cycles) const {
+  HXSP_CHECK(enabled() && cycles > 0);
+  std::int64_t sum = 0;
+  long alive = 0;
+  for (SwitchId s = 0; s < graph_->num_switches(); ++s) {
+    for (Port p = 0; p < graph_->degree(s); ++p) {
+      if (!graph_->port_alive(s, p)) continue;
+      sum += phits_[index(s, p)];
+      ++alive;
+    }
+  }
+  if (alive == 0) return 0.0;
+  return static_cast<double>(sum) /
+         (static_cast<double>(cycles) * static_cast<double>(alive));
+}
+
+double LinkStats::max_load(Cycle cycles) const {
+  HXSP_CHECK(enabled() && cycles > 0);
+  std::int64_t best = 0;
+  for (std::int64_t v : phits_) best = std::max(best, v);
+  return static_cast<double>(best) / static_cast<double>(cycles);
+}
+
+double LinkStats::switch_load(SwitchId sw, Cycle cycles) const {
+  HXSP_CHECK(enabled() && cycles > 0);
+  std::int64_t sum = 0;
+  long alive = 0;
+  for (Port p = 0; p < graph_->degree(sw); ++p) {
+    if (!graph_->port_alive(sw, p)) continue;
+    sum += phits_[index(sw, p)];
+    const PortInfo& pi = graph_->port(sw, p);
+    sum += phits_[index(pi.neighbor, pi.remote_port)];
+    alive += 2;
+  }
+  if (alive == 0) return 0.0;
+  return static_cast<double>(sum) /
+         (static_cast<double>(cycles) * static_cast<double>(alive));
+}
+
+} // namespace hxsp

@@ -1,0 +1,76 @@
+#pragma once
+/// \file linkstats.hpp
+/// Per-directed-link utilization accounting.
+///
+/// The paper's §6 analysis ("this fault configuration is particularly
+/// adverse since it eliminates 2/3 of the links of the root") reasons
+/// about where load concentrates; this collector measures it: phits
+/// transmitted per (switch, output port) over the measurement window,
+/// with helpers to find the hottest links and per-level aggregates for
+/// the escape-root congestion story.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "topology/graph.hpp"
+#include "util/types.hpp"
+
+namespace hxsp {
+
+/// Utilization counters for every directed switch-to-switch channel.
+class LinkStats {
+ public:
+  LinkStats() = default;
+
+  /// Sizes the table for \p g (one slot per (switch, switch-port)).
+  explicit LinkStats(const Graph& g);
+
+  /// Records \p phits leaving (sw, port). Port must be a switch port.
+  void on_transmit(SwitchId sw, Port port, int phits) {
+    phits_[index(sw, port)] += phits;
+  }
+
+  /// Clears the counters (called when a measurement window opens).
+  void reset();
+
+  /// Phits transmitted on (sw, port) since the last reset.
+  std::int64_t phits(SwitchId sw, Port port) const {
+    return phits_[index(sw, port)];
+  }
+
+  /// One hot link, load normalised to phits/cycle.
+  struct Entry {
+    SwitchId from = kInvalid;
+    Port port = kInvalid;
+    SwitchId to = kInvalid;
+    double load = 0; ///< phits per cycle, in [0, 1]
+  };
+
+  /// The \p n busiest directed links over a window of \p cycles.
+  std::vector<Entry> hottest(int n, Cycle cycles) const;
+
+  /// Mean load over alive directed links.
+  double mean_load(Cycle cycles) const;
+
+  /// Peak load across links.
+  double max_load(Cycle cycles) const;
+
+  /// Sum of loads of the alive links incident to \p sw (both directions),
+  /// normalised per alive link — "how hot is this switch's neighbourhood".
+  double switch_load(SwitchId sw, Cycle cycles) const;
+
+  /// True when the collector was initialised with a graph.
+  bool enabled() const { return graph_ != nullptr; }
+
+ private:
+  std::size_t index(SwitchId sw, Port port) const {
+    return base_[static_cast<std::size_t>(sw)] + static_cast<std::size_t>(port);
+  }
+
+  const Graph* graph_ = nullptr;
+  std::vector<std::size_t> base_; ///< per-switch offset into phits_
+  std::vector<std::int64_t> phits_;
+};
+
+} // namespace hxsp

@@ -1,0 +1,17 @@
+#include "metrics/report.hpp"
+
+namespace hxsp {
+
+void ResultRow::from_metrics(const SimMetrics& m) {
+  generated = m.generated_load();
+  accepted = m.accepted_load();
+  avg_latency = m.avg_latency();
+  jain = m.jain();
+  escape_frac = m.escape_hop_fraction();
+  forced_frac = m.forced_hop_fraction();
+  p99_latency = m.latency_histogram().percentile(0.99);
+  cycles = m.window_cycles();
+  packets = m.consumed_packets();
+}
+
+} // namespace hxsp

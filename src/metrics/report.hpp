@@ -1,0 +1,31 @@
+#pragma once
+/// \file report.hpp
+/// One row of experiment results, ready for table/CSV emission.
+
+#include <string>
+
+#include "metrics/stats.hpp"
+
+namespace hxsp {
+
+/// Result of a single simulation point (one mechanism x pattern x load).
+struct ResultRow {
+  std::string mechanism;  ///< e.g. "PolSP"
+  std::string pattern;    ///< e.g. "uniform"
+  double offered = 0;     ///< requested injection load (phits/cycle/server)
+  double generated = 0;   ///< realised generation rate (backpressured)
+  double accepted = 0;    ///< consumed phits/cycle/server
+  double avg_latency = 0; ///< cycles, creation -> consumption
+  double jain = 0;        ///< Jain index of generated load
+  double escape_frac = 0; ///< fraction of hops through the escape subnetwork
+  double forced_frac = 0; ///< fraction of forced hops
+  Cycle p99_latency = 0;  ///< 99th latency percentile
+  Cycle cycles = 0;       ///< measured cycles
+  std::int64_t packets = 0; ///< packets consumed in-window
+
+  /// Fills the metric fields from \p m (mechanism/pattern/offered are the
+  /// caller's responsibility).
+  void from_metrics(const SimMetrics& m);
+};
+
+} // namespace hxsp

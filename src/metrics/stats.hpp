@@ -1,0 +1,134 @@
+#pragma once
+/// \file stats.hpp
+/// Performance metrics collected during a simulation (paper §4):
+/// average accepted throughput, average message latency and the Jain
+/// fairness index of per-server *generated* load.
+
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace hxsp {
+
+/// Jain fairness index of a load vector: (sum x)^2 / (n * sum x^2).
+/// 1.0 = perfect equity; the paper calls >= 0.98 "a good value".
+/// Returns 1.0 for an all-zero vector (vacuously fair).
+double jain_index(const std::vector<std::int64_t>& x);
+
+/// Fixed-width latency histogram with an overflow bucket; supports
+/// percentile queries for the extension analyses.
+class LatencyHistogram {
+ public:
+  /// \p bucket_width cycles per bucket, \p num_buckets buckets + overflow.
+  explicit LatencyHistogram(int bucket_width = 8, int num_buckets = 1024);
+
+  /// Records one sample.
+  void add(Cycle latency);
+
+  /// Number of recorded samples.
+  std::int64_t count() const { return count_; }
+
+  /// Approximate p-quantile (0 < p < 1) as the upper edge of the bucket
+  /// containing it; returns -1 when empty.
+  Cycle percentile(double p) const;
+
+  /// Clears all samples.
+  void reset();
+
+ private:
+  int width_;
+  std::vector<std::int64_t> buckets_; ///< last bucket = overflow
+  std::int64_t count_ = 0;
+};
+
+/// Kinds of switch-to-switch hops, for SurePath's escape-usage accounting.
+enum class HopKind {
+  Routing, ///< taken from the base routing's candidates (CRout)
+  Escape,  ///< escape subnetwork chosen although routing candidates existed
+  Forced   ///< escape chosen because no routing candidate existed (§3)
+};
+
+/// Aggregated counters for one simulation. A measurement window restricts
+/// throughput/latency/Jain to the steady-state portion of the run.
+class SimMetrics {
+ public:
+  SimMetrics() = default;
+
+  /// Must be called before the simulation starts.
+  void configure(ServerId num_servers, int packet_length);
+
+  /// Opens the measurement window at cycle \p now (resets window counters).
+  void begin_window(Cycle now);
+
+  /// Closes the measurement window at cycle \p now.
+  void end_window(Cycle now);
+
+  /// A server enqueued a freshly generated packet.
+  void on_generated(ServerId src, Cycle now);
+
+  /// A packet was fully consumed by its destination server.
+  /// \p created is its generation timestamp.
+  void on_consumed(ServerId dst, Cycle created, Cycle now);
+
+  /// A switch-to-switch hop of the given kind was granted.
+  void on_hop(HopKind kind);
+
+  // --- results (valid after end_window) ----------------------------------
+
+  /// Accepted load in phits/cycle/server over the window.
+  double accepted_load() const;
+
+  /// Generated load in phits/cycle/server over the window (== offered when
+  /// injection queues never backpressure).
+  double generated_load() const;
+
+  /// Mean latency (creation to consumption) of packets consumed in-window.
+  double avg_latency() const;
+
+  /// Jain index of per-server generated phits over the window.
+  double jain() const;
+
+  /// Packets consumed inside the window.
+  std::int64_t consumed_packets() const { return window_consumed_packets_; }
+
+  /// Packets consumed since the start of the simulation.
+  std::int64_t total_consumed_packets() const { return total_consumed_packets_; }
+
+  /// Packets generated since the start of the simulation.
+  std::int64_t total_generated_packets() const { return total_generated_packets_; }
+
+  /// Fraction of switch hops that used the escape subnetwork (in-window).
+  double escape_hop_fraction() const;
+
+  /// Fraction of switch hops that were forced (no routing candidate).
+  double forced_hop_fraction() const;
+
+  /// The latency histogram for in-window consumptions.
+  const LatencyHistogram& latency_histogram() const { return hist_; }
+
+  /// Window length in cycles (0 while the window is open).
+  Cycle window_cycles() const;
+
+ private:
+  bool in_window() const { return window_start_ >= 0 && window_end_ < 0; }
+
+  ServerId num_servers_ = 0;
+  int packet_length_ = 0;
+  Cycle window_start_ = -1;
+  Cycle window_end_ = -1;
+
+  std::vector<std::int64_t> generated_phits_; ///< per server, in-window
+  std::int64_t window_consumed_phits_ = 0;
+  std::int64_t window_consumed_packets_ = 0;
+  std::int64_t total_consumed_packets_ = 0;
+  std::int64_t total_generated_packets_ = 0;
+  std::int64_t latency_sum_ = 0;
+  std::int64_t latency_count_ = 0;
+  std::int64_t hops_routing_ = 0;
+  std::int64_t hops_escape_ = 0;
+  std::int64_t hops_forced_ = 0;
+  LatencyHistogram hist_;
+};
+
+} // namespace hxsp

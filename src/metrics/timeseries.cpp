@@ -1,0 +1,23 @@
+#include "metrics/timeseries.hpp"
+
+#include "util/check.hpp"
+
+namespace hxsp {
+
+TimeSeries::TimeSeries(Cycle bucket_width) : width_(bucket_width) {
+  HXSP_CHECK(bucket_width >= 1);
+}
+
+void TimeSeries::add(Cycle now, std::int64_t value) {
+  HXSP_CHECK(now >= 0);
+  const std::size_t b = static_cast<std::size_t>(now / width_);
+  if (b >= buckets_.size()) buckets_.resize(b + 1, 0);
+  buckets_[b] += value;
+}
+
+double TimeSeries::rate(std::size_t i, double scale) const {
+  return static_cast<double>(buckets_[i]) /
+         (static_cast<double>(width_) * scale);
+}
+
+} // namespace hxsp

@@ -1,0 +1,44 @@
+#pragma once
+/// \file timeseries.hpp
+/// Bucketed time series of consumed phits, for the completion-time
+/// experiment (paper Fig 10: throughput at each time of the simulation).
+
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace hxsp {
+
+/// Accumulates values into fixed-width cycle buckets.
+class TimeSeries {
+ public:
+  /// \p bucket_width cycles per bucket.
+  explicit TimeSeries(Cycle bucket_width = 1000);
+
+  /// Adds \p value at time \p now (extends the series as needed).
+  void add(Cycle now, std::int64_t value);
+
+  /// Number of buckets currently held.
+  std::size_t num_buckets() const { return buckets_.size(); }
+
+  /// Sum accumulated in bucket \p i.
+  std::int64_t bucket(std::size_t i) const { return buckets_[i]; }
+
+  /// Start cycle of bucket \p i.
+  Cycle bucket_start(std::size_t i) const {
+    return static_cast<Cycle>(i) * width_;
+  }
+
+  /// Bucket width in cycles.
+  Cycle width() const { return width_; }
+
+  /// Bucket sum normalised to a rate: bucket / (width * scale).
+  double rate(std::size_t i, double scale) const;
+
+ private:
+  Cycle width_;
+  std::vector<std::int64_t> buckets_;
+};
+
+} // namespace hxsp

@@ -1,0 +1,53 @@
+#include "routing/factory.hpp"
+
+#include "core/surepath.hpp"
+#include "routing/dor.hpp"
+#include "routing/ladder.hpp"
+#include "routing/minimal.hpp"
+#include "routing/omnidimensional.hpp"
+#include "routing/polarized.hpp"
+#include "routing/valiant.hpp"
+
+namespace hxsp {
+
+std::unique_ptr<RoutingMechanism> make_mechanism(const std::string& name) {
+  if (name == "minimal")
+    return std::make_unique<LadderMechanism>(std::make_unique<MinimalAlgorithm>(),
+                                             2, "Minimal");
+  if (name == "dor")
+    return std::make_unique<LadderMechanism>(std::make_unique<DorAlgorithm>(), 1,
+                                             "DOR");
+  if (name == "valiant")
+    return std::make_unique<LadderMechanism>(std::make_unique<ValiantAlgorithm>(),
+                                             1, "Valiant");
+  if (name == "omniwar")
+    return std::make_unique<LadderMechanism>(
+        std::make_unique<OmnidimensionalAlgorithm>(), 1, "OmniWAR");
+  if (name == "polarized")
+    return std::make_unique<LadderMechanism>(std::make_unique<PolarizedAlgorithm>(),
+                                             1, "Polarized");
+  // CRout VC disciplines follow each base routing's own convention
+  // (paper Table 4): Omnidimensional splits its VCs freely between minimal
+  // hops and deroutes, while Polarized keeps its 1-VC-per-step ladder.
+  // See DESIGN.md ("SurePath CRout VC policy") for the measurements behind
+  // these defaults.
+  if (name == "omnisp")
+    return std::make_unique<SurePathMechanism>(
+        std::make_unique<OmnidimensionalAlgorithm>(), "OmniSP",
+        CRoutVcPolicy::Free);
+  if (name == "polsp")
+    return std::make_unique<SurePathMechanism>(std::make_unique<PolarizedAlgorithm>(),
+                                               "PolSP", CRoutVcPolicy::Auto);
+  HXSP_CHECK_MSG(false, ("unknown routing mechanism: " + name).c_str());
+  return nullptr;
+}
+
+std::vector<std::string> mechanism_names() {
+  return {"minimal", "dor", "valiant", "omniwar", "polarized", "omnisp", "polsp"};
+}
+
+std::string mechanism_display_name(const std::string& name) {
+  return make_mechanism(name)->name();
+}
+
+} // namespace hxsp

@@ -1,0 +1,30 @@
+#pragma once
+/// \file factory.hpp
+/// By-name construction of the six routing mechanisms the paper evaluates
+/// (Table 4), plus the DOR baseline.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "routing/mechanism.hpp"
+
+namespace hxsp {
+
+/// Builds a RoutingMechanism from its (case-sensitive) name:
+///   minimal   — shortest path, 2-VC-per-step ladder
+///   dor       — dimension ordered (baseline; single path, 1 VC rung)
+///   valiant   — two-phase minimal, 1-VC-per-step ladder
+///   omniwar   — Omnidimensional + ladder (the paper's OmniWAR stand-in)
+///   polarized — Polarized + ladder
+///   omnisp    — SurePath over Omnidimensional routes
+///   polsp     — SurePath over Polarized routes
+std::unique_ptr<RoutingMechanism> make_mechanism(const std::string& name);
+
+/// All mechanism names accepted by make_mechanism.
+std::vector<std::string> mechanism_names();
+
+/// The display name the paper uses for a mechanism name ("polsp"->"PolSP").
+std::string mechanism_display_name(const std::string& name);
+
+} // namespace hxsp

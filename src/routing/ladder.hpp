@@ -1,0 +1,62 @@
+#pragma once
+/// \file ladder.hpp
+/// Ladder virtual-channel management (paper §3.1.2 and Table 4).
+///
+/// "The i-th virtual channel is utilized when the packet has already passed
+/// through i switch-to-switch links" [Günther'81, Merlin-Schweitzer'80].
+/// Because the VC index increases monotonically along a route, the channel
+/// dependency graph is acyclic and the network is deadlock-free — provided
+/// routes never exceed the ladder, which is exactly what breaks under
+/// faults and motivates SurePath.
+///
+/// Two granularities, matching Table 4:
+///  * 1 VC per step (Valiant, OmniWAR, Polarized): VC = hops.
+///  * 2 VCs per step (Minimal): VCs {2*hops, 2*hops+1}.
+
+#include <memory>
+
+#include "routing/mechanism.hpp"
+
+namespace hxsp {
+
+/// A RouteAlgorithm wrapped with Ladder VC management.
+class LadderMechanism final : public RoutingMechanism {
+ public:
+  /// \p vcs_per_step must be 1 or 2. \p display is the paper's mechanism
+  /// name (e.g. "OmniWAR" for Omnidimensional + 1-step ladder).
+  LadderMechanism(std::unique_ptr<RouteAlgorithm> algo, int vcs_per_step,
+                  std::string display);
+
+  std::string name() const override { return display_; }
+
+  void candidates(const NetworkContext& ctx, const Packet& p, SwitchId sw,
+                  std::vector<Candidate>& out) const override;
+
+  void injection_vcs(const NetworkContext& ctx, const Packet& p,
+                     std::vector<Vc>& out) const override;
+
+  void on_inject(const NetworkContext& ctx, Packet& p, Rng& rng) const override {
+    algo_->on_inject(ctx, p, rng);
+  }
+
+  void on_arrival(const NetworkContext& ctx, Packet& p, SwitchId sw) const override {
+    algo_->on_arrival(ctx, p, sw);
+  }
+
+  void commit_hop(const NetworkContext& ctx, Packet& p, SwitchId from,
+                  const Candidate& cand) const override;
+
+  /// The wrapped algorithm (for tests and diagnostics).
+  const RouteAlgorithm& algorithm() const { return *algo_; }
+
+ private:
+  /// First legal VC for a packet with \p hops hops taken, clamped so the
+  /// ladder saturates at the top instead of overflowing num_vcs.
+  Vc rung(int hops, int num_vcs) const;
+
+  std::unique_ptr<RouteAlgorithm> algo_;
+  int vcs_per_step_;
+  std::string display_;
+};
+
+} // namespace hxsp

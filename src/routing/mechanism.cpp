@@ -1,0 +1,9 @@
+/// \file mechanism.cpp
+/// Out-of-line anchor for the routing interface vtables.
+
+#include "routing/mechanism.hpp"
+
+namespace hxsp {
+// RouteAlgorithm and RoutingMechanism are pure interfaces; concrete
+// implementations live in their own translation units.
+} // namespace hxsp

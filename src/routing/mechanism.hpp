@@ -1,0 +1,125 @@
+#pragma once
+/// \file mechanism.hpp
+/// Routing interfaces.
+///
+/// Two layers, mirroring the paper's Table 4:
+///  * RouteAlgorithm — *which neighbours* a packet may take next and at what
+///    penalty (Minimal, DOR, Valiant, Omnidimensional, Polarized). Pure
+///    port-level logic, independent of virtual-channel management.
+///  * RoutingMechanism — a RouteAlgorithm plus VC management: a Ladder
+///    (hop-indexed VCs, the classic deadlock avoidance of OmniWAR and
+///    Polarized) or SurePath (CRout/CEsc split with the Up/Down escape).
+///
+/// The router consults the mechanism once per eligible head packet and
+/// receives (port, vc, penalty) candidates; it then applies the paper's
+/// Q+P single-request allocation.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/packet.hpp"
+#include "topology/distance.hpp"
+#include "topology/graph.hpp"
+#include "topology/hyperx.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace hxsp {
+
+class EscapeUpDown; // core/escape_updown.hpp
+
+/// Everything a routing decision may consult. Owned by the harness; all
+/// pointers outlive the simulation. `hyperx` and `escape` may be null for
+/// mechanisms that do not need them.
+struct NetworkContext {
+  const Graph* graph = nullptr;
+  const HyperX* hyperx = nullptr;      ///< null for generic topologies
+  const DistanceTable* dist = nullptr;
+  const EscapeUpDown* escape = nullptr;///< null unless SurePath
+  int num_vcs = 0;
+  int packet_length = 0;
+};
+
+/// A port-level route candidate produced by a RouteAlgorithm.
+struct PortCand {
+  Port port = kInvalid;
+  int penalty = 0;     ///< P, in phits (paper §3)
+  bool deroute = false;///< non-minimal hop (consumes Omni budget)
+};
+
+/// A full (port, vc) candidate handed to the allocator.
+struct Candidate {
+  Port port = kInvalid;
+  Vc vc = kInvalid;
+  int penalty = 0;      ///< P, in phits
+  bool escape = false;  ///< candidate lives on the escape subnetwork (CEsc)
+  bool escape_down = false; ///< escape hop that is a black Down step
+};
+
+/// Port-level routing logic. Stateless; per-packet state lives in the
+/// Packet header fields and is updated through the hooks below.
+class RouteAlgorithm {
+ public:
+  virtual ~RouteAlgorithm() = default;
+
+  /// Short identifier ("minimal", "omni", "polarized", ...).
+  virtual std::string name() const = 0;
+
+  /// Appends the legal next-hop ports for \p p at switch \p sw. Never
+  /// called when sw == p.dst_switch (the router ejects directly). Faulty
+  /// ports must not be returned.
+  virtual void ports(const NetworkContext& ctx, const Packet& p, SwitchId sw,
+                     std::vector<PortCand>& out) const = 0;
+
+  /// Called once when the packet is generated (Valiant draws its
+  /// intermediate here).
+  virtual void on_inject(const NetworkContext&, Packet&, Rng&) const {}
+
+  /// Called when the packet is enqueued at a router's input buffer
+  /// (Valiant flips to phase 2 at the intermediate).
+  virtual void on_arrival(const NetworkContext&, Packet&, SwitchId) const {}
+
+  /// Called when a switch-to-switch hop is granted (Omnidimensional counts
+  /// deroutes here); arguments: context, packet, source switch, candidate.
+  virtual void commit(const NetworkContext&, Packet&, SwitchId,
+                      const PortCand&) const {}
+
+  /// Upper bound on route length in a fault-free network, used for ladder
+  /// sizing checks (e.g. 2n for Omnidimensional with m = n).
+  virtual int max_hops(const NetworkContext& ctx) const = 0;
+};
+
+/// RouteAlgorithm + VC management = what the simulator actually runs.
+class RoutingMechanism {
+ public:
+  virtual ~RoutingMechanism() = default;
+
+  /// Display name matching the paper ("Minimal", "OmniSP", ...).
+  virtual std::string name() const = 0;
+
+  /// Appends (port, vc, penalty) candidates for head packet \p p at switch
+  /// \p sw. Not called at the destination switch (router ejects).
+  virtual void candidates(const NetworkContext& ctx, const Packet& p,
+                          SwitchId sw, std::vector<Candidate>& out) const = 0;
+
+  /// Legal injection VCs for a fresh packet (server side).
+  virtual void injection_vcs(const NetworkContext& ctx, const Packet& p,
+                             std::vector<Vc>& out) const = 0;
+
+  /// Forwards to the algorithm's on_inject.
+  virtual void on_inject(const NetworkContext&, Packet&, Rng&) const {}
+
+  /// Forwards to the algorithm's on_arrival.
+  virtual void on_arrival(const NetworkContext&, Packet&, SwitchId) const {}
+
+  /// Called at grant time for switch-to-switch hops: updates hop counters
+  /// and mechanism-specific state (escape flags, deroute budget).
+  virtual void commit_hop(const NetworkContext&, Packet&, SwitchId from,
+                          const Candidate& cand) const = 0;
+
+  /// True when this mechanism needs the Up/Down escape subnetwork.
+  virtual bool needs_escape() const { return false; }
+};
+
+} // namespace hxsp

@@ -1,0 +1,47 @@
+#include "routing/polarized.hpp"
+
+namespace hxsp {
+
+void PolarizedAlgorithm::ports(const NetworkContext& ctx, const Packet& p,
+                               SwitchId sw, std::vector<PortCand>& out) const {
+  const Graph& g = *ctx.graph;
+  const DistanceTable& dist = *ctx.dist;
+  const std::uint8_t dcs = dist.at(sw, p.src_switch);
+  const std::uint8_t dct = dist.at(sw, p.dst_switch);
+  if (dct == kUnreachable || dct == 0) return;
+  // The paper's header boolean d(c,s) < d(c,t): still in the first half.
+  const bool first_half = dcs < dct;
+
+  const auto& ports = g.ports(sw);
+  for (Port q = 0; q < static_cast<Port>(ports.size()); ++q) {
+    const auto& pi = ports[static_cast<std::size_t>(q)];
+    if (!g.link_alive(pi.link)) continue;
+    const int ds = static_cast<int>(dist.at(pi.neighbor, p.src_switch)) - dcs;
+    const int dt = static_cast<int>(dist.at(pi.neighbor, p.dst_switch)) - dct;
+    const int dmu = ds - dt;
+    if (dmu < 0) continue;
+    if (dmu == 0) {
+      // Table 1 admits exactly (+1,+1) and (-1,-1); (0,0) is excluded.
+      if (ds == 1 && dt == 1) {
+        if (!first_half) continue; // departing both only near the source
+      } else if (ds == -1 && dt == -1) {
+        if (first_half) continue; // approaching both only near the target
+      } else {
+        continue;
+      }
+      out.push_back({q, pen_.dmu0, true});
+    } else if (dmu == 1) {
+      out.push_back({q, pen_.dmu1, dt >= 0});
+    } else { // dmu == 2: approaches target, departs source
+      out.push_back({q, pen_.dmu2, false});
+    }
+  }
+}
+
+int PolarizedAlgorithm::max_hops(const NetworkContext& ctx) const {
+  // Polarized routes are at most twice the diameter on HyperX (paper
+  // §3.1.2); 4x is a safe bound on arbitrary faulty graphs.
+  return 4 * ctx.dist->diameter();
+}
+
+} // namespace hxsp

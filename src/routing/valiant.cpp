@@ -1,0 +1,36 @@
+#include "routing/valiant.hpp"
+
+namespace hxsp {
+
+void ValiantAlgorithm::on_inject(const NetworkContext& ctx, Packet& p,
+                                 Rng& rng) const {
+  p.valiant_mid = static_cast<SwitchId>(
+      rng.next_below(static_cast<std::uint64_t>(ctx.graph->num_switches())));
+  p.valiant_phase2 = p.valiant_mid == p.src_switch;
+}
+
+void ValiantAlgorithm::on_arrival(const NetworkContext&, Packet& p,
+                                  SwitchId sw) const {
+  if (!p.valiant_phase2 && sw == p.valiant_mid) p.valiant_phase2 = true;
+}
+
+void ValiantAlgorithm::ports(const NetworkContext& ctx, const Packet& p,
+                             SwitchId sw, std::vector<PortCand>& out) const {
+  const Graph& g = *ctx.graph;
+  const DistanceTable& dist = *ctx.dist;
+  const SwitchId target = p.valiant_phase2 ? p.dst_switch : p.valiant_mid;
+  const std::uint8_t d = dist.at(sw, target);
+  if (d == kUnreachable || d == 0) return;
+  const auto& ports = g.ports(sw);
+  for (Port q = 0; q < static_cast<Port>(ports.size()); ++q) {
+    const auto& pi = ports[static_cast<std::size_t>(q)];
+    if (!g.link_alive(pi.link)) continue;
+    if (dist.at(pi.neighbor, target) == d - 1) out.push_back({q, 0, false});
+  }
+}
+
+int ValiantAlgorithm::max_hops(const NetworkContext& ctx) const {
+  return 2 * ctx.dist->diameter();
+}
+
+} // namespace hxsp

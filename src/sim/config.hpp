@@ -1,0 +1,37 @@
+#pragma once
+/// \file config.hpp
+/// Simulation parameters (paper Table 2) plus engine knobs.
+
+#include "util/types.hpp"
+
+namespace hxsp {
+
+/// Microarchitectural and engine configuration of a simulation.
+/// Defaults reproduce the paper's Table 2 exactly.
+struct SimConfig {
+  int packet_length = 16;       ///< phits per packet ("Packet length 16 phits")
+  int input_buffer_packets = 8; ///< per (port,VC) input FIFO ("8 packets")
+  int output_buffer_packets = 4;///< per (port,VC) output FIFO ("4 packets")
+  int link_latency = 1;         ///< cycles ("Link latency 1 cycle")
+  int xbar_latency = 1;         ///< cycles ("Crossbar latency 1 cycle (link)")
+  int xbar_speedup = 2;         ///< phits/cycle through the crossbar per port
+  int num_vcs = 4;              ///< virtual channels per port
+  int server_queue_packets = 8; ///< injection queue depth per server
+
+  /// Abort if no packet movement happens for this many cycles while
+  /// packets are in flight (deadlock/livelock tripwire). 0 disables.
+  Cycle watchdog_cycles = 50000;
+
+  /// Derived: input buffer capacity in phits.
+  int input_buffer_phits() const { return input_buffer_packets * packet_length; }
+
+  /// Derived: output buffer capacity in phits.
+  int output_buffer_phits() const { return output_buffer_packets * packet_length; }
+
+  /// Derived: cycles a packet occupies the crossbar (ceil(len/speedup)).
+  int xbar_cycles() const {
+    return (packet_length + xbar_speedup - 1) / xbar_speedup;
+  }
+};
+
+} // namespace hxsp

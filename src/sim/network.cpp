@@ -1,0 +1,181 @@
+#include "sim/network.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "util/log.hpp"
+
+namespace hxsp {
+
+Network::Network(const NetworkContext& ctx, RoutingMechanism& mech,
+                 TrafficPattern& traffic, const SimConfig& cfg,
+                 int servers_per_switch, std::uint64_t seed)
+    : ctx_(ctx), mech_(mech), traffic_(traffic), cfg_(cfg),
+      servers_per_switch_(servers_per_switch), rng_(seed),
+      wheel_(kWheelSize) {
+  HXSP_CHECK(ctx_.graph != nullptr && ctx_.dist != nullptr);
+  HXSP_CHECK(ctx_.num_vcs == cfg_.num_vcs);
+  HXSP_CHECK(ctx_.packet_length == cfg_.packet_length);
+  HXSP_CHECK_MSG(!mech_.needs_escape() || ctx_.escape != nullptr,
+                 "mechanism requires an escape subnetwork in the context");
+  HXSP_CHECK(servers_per_switch_ >= 1);
+
+  const SwitchId n = ctx_.graph->num_switches();
+  for (SwitchId s = 0; s < n; ++s)
+    routers_.emplace_back(s, ctx_.graph->degree(s), servers_per_switch_, cfg_);
+
+  const ServerId total = static_cast<ServerId>(n) * servers_per_switch_;
+  for (ServerId v = 0; v < total; ++v)
+    servers_.emplace_back(v, static_cast<SwitchId>(v / servers_per_switch_),
+                          static_cast<int>(v % servers_per_switch_), cfg_);
+
+  metrics_.configure(total, cfg_.packet_length);
+  link_stats_ = LinkStats(*ctx_.graph);
+}
+
+void Network::set_offered_load(double load) {
+  for (auto& s : servers_) s.set_offered_load(load, cfg_.packet_length);
+}
+
+void Network::set_completion_load(long packets) {
+  for (auto& s : servers_) s.set_completion(packets);
+}
+
+void Network::schedule(Cycle when, const Event& ev) {
+  HXSP_DCHECK(when > now_ && when < now_ + kWheelSize);
+  wheel_[static_cast<std::size_t>(when & (kWheelSize - 1))].push_back(ev);
+}
+
+void Network::process_events() {
+  auto& slot = wheel_[static_cast<std::size_t>(now_ & (kWheelSize - 1))];
+  for (const Event& ev : slot) {
+    switch (ev.kind) {
+      case Event::Kind::InDrainDone: {
+        Router& r = routers_[static_cast<std::size_t>(ev.a)];
+        r.input_drain_done(*this, ev.port, ev.vc);
+        // Return the freed space upstream, one cycle of credit latency.
+        if (ev.port < r.first_server_port()) {
+          const PortInfo& pi = ctx_.graph->port(ev.a, ev.port);
+          schedule(now_ + 1, {Event::Kind::CreditRouter, ev.vc, pi.remote_port,
+                              pi.neighbor, cfg_.packet_length});
+        } else {
+          const ServerId srv =
+              static_cast<ServerId>(ev.a) * servers_per_switch_ +
+              (ev.port - r.first_server_port());
+          schedule(now_ + 1, {Event::Kind::CreditServer, ev.vc, 0, srv,
+                              cfg_.packet_length});
+        }
+        break;
+      }
+      case Event::Kind::CreditRouter:
+        routers_[static_cast<std::size_t>(ev.a)].credit_return(
+            ev.port, ev.vc, static_cast<int>(ev.aux));
+        break;
+      case Event::Kind::CreditServer:
+        servers_[static_cast<std::size_t>(ev.a)].credit_return(
+            ev.vc, static_cast<int>(ev.aux));
+        break;
+      case Event::Kind::OutTailGone:
+        routers_[static_cast<std::size_t>(ev.a)].output_tail_gone(
+            ev.port, ev.vc, cfg_.packet_length);
+        break;
+      case Event::Kind::Consume: {
+        const ServerId dst = ev.a;
+        metrics_.on_consumed(dst, ev.aux, now_);
+        if (timeseries_) timeseries_->add(now_, cfg_.packet_length);
+        on_packet_destroyed();
+        note_progress();
+        // Return the eject credit to the router's server port.
+        const SwitchId sw = dst / servers_per_switch_;
+        const Port port = routers_[static_cast<std::size_t>(sw)]
+                              .first_server_port() +
+                          static_cast<Port>(dst % servers_per_switch_);
+        schedule(now_ + 1, {Event::Kind::CreditRouter, ev.vc, port, sw,
+                            cfg_.packet_length});
+        break;
+      }
+    }
+  }
+  slot.clear();
+}
+
+void Network::deliver(PacketPtr pkt, SwitchId sw, Port port, Vc vc, Cycle head,
+                      Cycle tail) {
+  mech_.on_arrival(ctx_, *pkt, sw);
+  routers_[static_cast<std::size_t>(sw)].push_input(*this, std::move(pkt), port,
+                                                    vc, head, tail);
+}
+
+void Network::consume_at(PacketPtr pkt, Cycle when, Vc vc) {
+  HXSP_DCHECK(pkt->dst_switch ==
+              static_cast<SwitchId>(pkt->dst_server / servers_per_switch_));
+  schedule(when, {Event::Kind::Consume, vc, 0, pkt->dst_server, pkt->created});
+  // The packet object dies here; the Consume event carries what remains.
+}
+
+void Network::step() {
+  process_events();
+  for (auto& s : servers_) {
+    s.generation_phase(*this, now_);
+    s.injection_phase(*this, now_);
+  }
+  for (auto& r : routers_) r.alloc_phase(*this, now_);
+  for (auto& r : routers_) r.link_phase(*this, now_);
+
+  if (cfg_.watchdog_cycles > 0 && packets_in_system_ > 0 &&
+      now_ - last_progress_ > cfg_.watchdog_cycles) {
+    std::fprintf(stderr,
+                 "hxsp watchdog: no packet movement for %" PRId64
+                 " cycles at cycle %" PRId64 " with %ld packets in flight — "
+                 "deadlock or livelock\n",
+                 static_cast<std::int64_t>(now_ - last_progress_),
+                 static_cast<std::int64_t>(now_), packets_in_system_);
+    HXSP_CHECK_MSG(false, "simulation stalled (watchdog)");
+  }
+
+#ifndef NDEBUG
+  if ((now_ & 0x3FF) == 0)
+    for (const auto& r : routers_) r.check_invariants(cfg_);
+#endif
+  ++now_;
+}
+
+void Network::run_cycles(Cycle n) {
+  const Cycle end = now_ + n;
+  while (now_ < end) step();
+}
+
+void Network::on_link_failed(LinkId failed) {
+  HXSP_CHECK_MSG(!ctx_.graph->link_alive(failed),
+                 "fail the link in the graph before notifying the network");
+  const auto& ends = ctx_.graph->link(failed);
+  // Packets queued for the dead wire are lost (a real failure drops them;
+  // end-to-end recovery is above this layer).
+  int lost = 0;
+  lost += routers_[static_cast<std::size_t>(ends.a)].drop_output_queue(
+      ends.port_a, cfg_);
+  lost += routers_[static_cast<std::size_t>(ends.b)].drop_output_queue(
+      ends.port_b, cfg_);
+  dropped_packets_ += lost;
+  packets_in_system_ -= lost;
+  for (auto& r : routers_) r.on_tables_rebuilt();
+  note_progress(); // recovery counts as progress for the watchdog
+}
+
+bool Network::run_until_drained(Cycle max_cycles) {
+  const Cycle end = now_ + max_cycles;
+  while (now_ < end) {
+    bool pending = packets_in_system_ > 0;
+    if (!pending)
+      for (const auto& s : servers_)
+        if (s.remaining() > 0 || s.queued() > 0) {
+          pending = true;
+          break;
+        }
+    if (!pending) return true;
+    step();
+  }
+  return packets_in_system_ == 0;
+}
+
+} // namespace hxsp

@@ -1,0 +1,169 @@
+#pragma once
+/// \file network.hpp
+/// The simulation engine: owns routers, servers, the event wheel, metrics
+/// and the cycle loop.
+///
+/// One step() = process due events, run server generation/injection, run
+/// every router's allocation phase, then every router's link phase. All
+/// event delays are small constants (crossbar/link/credit latencies), so a
+/// 64-slot calendar wheel suffices. A watchdog aborts the run if packets
+/// are in flight but nothing has moved for SimConfig::watchdog_cycles —
+/// the tripwire behind our deadlock-freedom claims.
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "metrics/linkstats.hpp"
+#include "metrics/stats.hpp"
+#include "metrics/timeseries.hpp"
+#include "routing/mechanism.hpp"
+#include "sim/config.hpp"
+#include "sim/router.hpp"
+#include "sim/server.hpp"
+#include "traffic/pattern.hpp"
+#include "util/rng.hpp"
+
+namespace hxsp {
+
+/// A deferred simulator action (buffer release, credit return, delivery).
+struct Event {
+  enum class Kind : std::uint8_t {
+    InDrainDone,  ///< a = router, port/vc: head left the input buffer
+    CreditRouter, ///< a = router, port/vc: credit for an output VC
+    CreditServer, ///< a = server, vc: credit for the injection buffer
+    OutTailGone,  ///< a = router, port/vc: tail left the output buffer
+    Consume       ///< a = server, vc = eject vc, aux = creation cycle
+  };
+  Kind kind;
+  Vc vc = 0;
+  Port port = 0;
+  std::int32_t a = 0;
+  Cycle aux = 0;
+};
+
+/// A complete simulated network bound to one routing mechanism and one
+/// traffic pattern. Topology, distance tables and the escape subnetwork
+/// are owned by the caller (see harness/experiment.hpp) and referenced
+/// through the NetworkContext.
+class Network {
+ public:
+  /// \p servers_per_switch servers are attached to every switch. The
+  /// context, mechanism and traffic objects must outlive the Network.
+  Network(const NetworkContext& ctx, RoutingMechanism& mech,
+          TrafficPattern& traffic, const SimConfig& cfg,
+          int servers_per_switch, std::uint64_t seed);
+
+  // --- experiment control -------------------------------------------------
+
+  /// Sets the offered load (phits/cycle/server) for every server.
+  void set_offered_load(double load);
+
+  /// Completion mode: every server sends exactly \p packets packets.
+  void set_completion_load(long packets);
+
+  /// Advances the simulation \p n cycles.
+  void run_cycles(Cycle n);
+
+  /// Runs until every packet has been consumed (completion mode) or
+  /// \p max_cycles elapse; returns true when fully drained.
+  bool run_until_drained(Cycle max_cycles);
+
+  /// Opens the metrics measurement window at the current cycle.
+  void begin_window() {
+    metrics_.begin_window(now_);
+    link_stats_.reset();
+  }
+
+  /// Closes the metrics measurement window at the current cycle.
+  void end_window() { metrics_.end_window(now_); }
+
+  /// Per-link utilization over the current/last measurement window.
+  const LinkStats& link_stats() const { return link_stats_; }
+  LinkStats& link_stats() { return link_stats_; }
+
+  /// Optional sink for a consumed-phits time series (Fig 10). May be null.
+  void attach_timeseries(TimeSeries* ts) { timeseries_ = ts; }
+
+  // --- queries -------------------------------------------------------------
+
+  Cycle now() const { return now_; }
+  SimMetrics& metrics() { return metrics_; }
+  const SimMetrics& metrics() const { return metrics_; }
+  long packets_in_system() const { return packets_in_system_; }
+  ServerId num_servers() const { return static_cast<ServerId>(servers_.size()); }
+  int servers_per_switch() const { return servers_per_switch_; }
+
+  // --- component plumbing (used by Router/Server) ---------------------------
+
+  const NetworkContext& ctx() const { return ctx_; }
+  const SimConfig& cfg() const { return cfg_; }
+  Rng& rng() { return rng_; }
+  RoutingMechanism& mechanism() { return mech_; }
+  TrafficPattern& traffic() { return traffic_; }
+  Router& router(SwitchId s) { return routers_[static_cast<std::size_t>(s)]; }
+  Server& server(ServerId v) { return servers_[static_cast<std::size_t>(v)]; }
+
+  /// Schedules \p ev for cycle \p when (must be < 64 cycles ahead).
+  void schedule(Cycle when, const Event& ev);
+
+  /// Hands a packet to a router input buffer (runs the arrival hook).
+  void deliver(PacketPtr pkt, SwitchId sw, Port port, Vc vc, Cycle head,
+               Cycle tail);
+
+  /// Consumes \p pkt at cycle \p when; returns the eject credit afterwards.
+  void consume_at(PacketPtr pkt, Cycle when, Vc vc);
+
+  /// Registers packet movement (resets the watchdog).
+  void note_progress() { last_progress_ = now_; }
+
+  /// Unique id source for packets.
+  std::int64_t next_packet_id() { return ++packet_ids_; }
+
+  /// Bookkeeping: a packet entered / left the system.
+  void on_packet_created() { ++packets_in_system_; }
+  void on_packet_destroyed() { --packets_in_system_; }
+
+  // --- dynamic fault support ----------------------------------------------
+
+  /// Must be called after link \p failed was removed from the graph and
+  /// the distance/escape tables were rebuilt (the paper's BFS-on-failure
+  /// recovery, §1/§3). Packets already queued for the dead link are lost
+  /// (counted in dropped_packets()); every cached routing decision is
+  /// invalidated so the new tables take effect immediately.
+  void on_link_failed(LinkId failed);
+
+  /// Packets lost to runtime link failures so far.
+  long dropped_packets() const { return dropped_packets_; }
+
+ private:
+  void step();
+  void process_events();
+
+  NetworkContext ctx_;
+  RoutingMechanism& mech_;
+  TrafficPattern& traffic_;
+  SimConfig cfg_;
+  int servers_per_switch_;
+  Rng rng_;
+
+  // deque: Router/Server hold move-only buffers and must never relocate.
+  std::deque<Router> routers_;
+  std::deque<Server> servers_;
+
+  static constexpr int kWheelBits = 6;
+  static constexpr int kWheelSize = 1 << kWheelBits; ///< 64-cycle horizon
+  std::vector<std::vector<Event>> wheel_;
+
+  SimMetrics metrics_;
+  LinkStats link_stats_;
+  TimeSeries* timeseries_ = nullptr;
+
+  Cycle now_ = 0;
+  Cycle last_progress_ = 0;
+  long packets_in_system_ = 0;
+  long dropped_packets_ = 0;
+  std::int64_t packet_ids_ = 0;
+};
+
+} // namespace hxsp

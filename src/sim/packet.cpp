@@ -1,0 +1,9 @@
+/// \file packet.cpp
+/// Packet is a plain aggregate; this file anchors the sim/packet header in
+/// the build so future non-inline helpers have a home.
+
+#include "sim/packet.hpp"
+
+namespace hxsp {
+// (intentionally empty)
+} // namespace hxsp

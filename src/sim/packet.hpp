@@ -1,0 +1,48 @@
+#pragma once
+/// \file packet.hpp
+/// The unit of simulated traffic: one message = one packet of
+/// `SimConfig::packet_length` phits (the paper simulates 16-phit messages).
+///
+/// Routing-algorithm state travels in the packet "header": hop counters,
+/// the Valiant intermediate, the Omnidimensional deroute budget, and the
+/// SurePath escape flags. Buffer-position timestamps (head/tail arrival in
+/// the *current* buffer) implement virtual cut-through at packet
+/// granularity.
+
+#include <cstdint>
+#include <memory>
+
+#include "util/types.hpp"
+
+namespace hxsp {
+
+/// A packet in flight. Owned by exactly one buffer (or link) at a time.
+struct Packet {
+  std::int64_t id = 0;          ///< unique per simulation
+  ServerId src_server = kInvalid;
+  ServerId dst_server = kInvalid;
+  SwitchId src_switch = kInvalid;
+  SwitchId dst_switch = kInvalid;
+  int length = 0;               ///< phits
+
+  Cycle created = 0;            ///< generation time (enqueue at server)
+  Cycle injected = -1;          ///< first phit left the server
+
+  // --- cut-through position in the current buffer -----------------------
+  Cycle buf_head = 0;           ///< cycle the head phit arrived/arrives
+  Cycle buf_tail = 0;           ///< cycle the tail phit arrives
+
+  // --- routing-algorithm header state ------------------------------------
+  SwitchId valiant_mid = kInvalid; ///< Valiant intermediate switch
+  bool valiant_phase2 = false;     ///< past the intermediate?
+  std::uint16_t hops = 0;          ///< switch-to-switch hops taken
+  std::uint8_t deroutes = 0;       ///< non-minimal hops taken (Omnidimensional)
+  Vc cur_vc = 0;                   ///< VC the packet currently occupies
+  bool in_escape = false;          ///< currently on a CEsc virtual channel
+  bool escape_gone_down = false;   ///< strict-phase escape: took a Down hop
+};
+
+/// Owning pointer used when moving packets between buffers.
+using PacketPtr = std::unique_ptr<Packet>;
+
+} // namespace hxsp

@@ -1,0 +1,314 @@
+#include "sim/router.hpp"
+
+#include <limits>
+
+#include "sim/network.hpp"
+
+namespace hxsp {
+
+Router::Router(SwitchId id, int num_switch_ports, int num_server_ports,
+               const SimConfig& cfg)
+    : id_(id), num_switch_ports_(num_switch_ports), num_vcs_(cfg.num_vcs) {
+  const int total_ports = num_switch_ports + num_server_ports;
+  // Direct construction (not resize): these structs hold move-only deques.
+  inputs_ = std::vector<InputVc>(static_cast<std::size_t>(total_ports) *
+                                 static_cast<std::size_t>(num_vcs_));
+  outputs_ = std::vector<OutputPort>(static_cast<std::size_t>(total_ports));
+  for (auto& op : outputs_) {
+    op.vcs = std::vector<OutputVc>(static_cast<std::size_t>(num_vcs_));
+    for (auto& ov : op.vcs) {
+      ov.credits = cfg.input_buffer_phits();
+      ov.base_credits = cfg.input_buffer_phits();
+    }
+  }
+  in_xbar_free_.assign(static_cast<std::size_t>(total_ports), 0);
+  pending_.resize(static_cast<std::size_t>(total_ports));
+}
+
+void Router::mark_active(Port p, Vc v) {
+  InputVc& iv = input_mut(p, v);
+  if (iv.active_pos >= 0) return;
+  iv.active_pos = static_cast<int>(active_.size());
+  active_.push_back(static_cast<std::int32_t>(vc_index(p, v)));
+}
+
+void Router::unmark_active(Port p, Vc v) {
+  InputVc& iv = input_mut(p, v);
+  if (iv.active_pos < 0) return;
+  const int pos = iv.active_pos;
+  const std::int32_t last = active_.back();
+  active_[static_cast<std::size_t>(pos)] = last;
+  inputs_[static_cast<std::size_t>(last)].active_pos = pos;
+  active_.pop_back();
+  iv.active_pos = -1;
+}
+
+void Router::push_input([[maybe_unused]] Network& net, PacketPtr pkt, Port port,
+                        Vc vc, Cycle head, Cycle tail) {
+  InputVc& iv = input_mut(port, vc);
+  pkt->buf_head = head;
+  pkt->buf_tail = tail;
+  iv.occupancy += pkt->length;
+  HXSP_DCHECK(iv.occupancy <= net.cfg().input_buffer_phits());
+  if (iv.q.empty()) iv.cand_valid = false;
+  iv.q.push_back(std::move(pkt));
+  mark_active(port, vc);
+}
+
+int Router::queue_score(Port port, Vc vc) const {
+  // Paper §3: qs = output buffer occupancy + consumed credits of the
+  // requested queue; Q = qs + sum over all queues of the same port
+  // (so the requested queue counts twice).
+  const OutputPort& op = outputs_[static_cast<std::size_t>(port)];
+  int port_sum = 0;
+  int qs_requested = 0;
+  for (Vc v = 0; v < num_vcs_; ++v) {
+    const OutputVc& ov = op.vcs[static_cast<std::size_t>(v)];
+    const int consumed = ov.base_credits - ov.credits;
+    const int qs = ov.occupancy + consumed;
+    port_sum += qs;
+    if (v == vc) qs_requested = qs;
+  }
+  return qs_requested + port_sum;
+}
+
+void Router::alloc_phase(Network& net, Cycle now) {
+  if (active_.empty()) return;
+  const SimConfig& cfg = net.cfg();
+  const int len = cfg.packet_length;
+  const int outbuf_cap = cfg.output_buffer_phits();
+
+  // --- request phase: every eligible head posts one request ---------------
+  for (std::size_t ai = 0; ai < active_.size(); ++ai) {
+    const std::int32_t enc = active_[ai];
+    InputVc& iv = inputs_[static_cast<std::size_t>(enc)];
+    if (iv.draining || iv.q.empty()) continue;
+    Packet& pkt = *iv.q.front();
+    if (pkt.buf_head > now) continue;
+    const Port in_port = static_cast<Port>(enc / num_vcs_);
+    if (in_xbar_free_[static_cast<std::size_t>(in_port)] > now) continue;
+
+    if (!iv.cand_valid) {
+      iv.cand.clear();
+      if (pkt.dst_switch == id_) {
+        // Ejection: the only candidate is this packet's server port, VC 0.
+        const Port eject = first_server_port() +
+                           static_cast<Port>(pkt.dst_server %
+                                             net.servers_per_switch());
+        iv.cand.push_back({eject, 0, 0, false, false});
+        iv.num_routing_cands = 1;
+      } else {
+        net.mechanism().candidates(net.ctx(), pkt, id_, iv.cand);
+        int routing = 0;
+        for (const Candidate& c : iv.cand) routing += c.escape ? 0 : 1;
+        iv.num_routing_cands = routing;
+      }
+      iv.cand_valid = true;
+    }
+    if (iv.cand.empty()) continue; // stuck: no legal move (e.g. DOR + fault)
+
+    // Single request: the feasible candidate minimising Q + P.
+    int best_score = std::numeric_limits<int>::max();
+    int best_idx = -1;
+    int ties = 0;
+    for (std::size_t i = 0; i < iv.cand.size(); ++i) {
+      const Candidate& c = iv.cand[i];
+      OutputPort& op = outputs_[static_cast<std::size_t>(c.port)];
+      if (op.xbar_free_at > now) continue;
+      OutputVc& ov = op.vcs[static_cast<std::size_t>(c.vc)];
+      if (ov.credits < len) continue;
+      if (ov.occupancy + len > outbuf_cap) continue;
+      const int score = queue_score(c.port, c.vc) + c.penalty;
+      if (score < best_score) {
+        best_score = score;
+        best_idx = static_cast<int>(i);
+        ties = 1;
+      } else if (score == best_score) {
+        ++ties;
+        if (net.rng().next_below(static_cast<std::uint64_t>(ties)) == 0)
+          best_idx = static_cast<int>(i);
+      }
+    }
+    if (best_idx < 0) continue;
+    const Candidate& c = iv.cand[static_cast<std::size_t>(best_idx)];
+    auto& reqs = pending_[static_cast<std::size_t>(c.port)];
+    if (reqs.empty()) dirty_outputs_.push_back(c.port);
+    // A forced hop (paper §3) is a CRout packet pushed into the escape
+    // because the base routing offered nothing; hops of packets already
+    // living on the escape are ordinary escape hops.
+    const bool forced = c.escape && !pkt.in_escape && iv.num_routing_cands == 0;
+    reqs.push_back({enc, c.vc, best_score, c.escape, forced, c.escape_down});
+  }
+
+  // --- grant phase: each requested output grants its best request ---------
+  for (const Port out_port : dirty_outputs_) {
+    auto& reqs = pending_[static_cast<std::size_t>(out_port)];
+    int best = -1;
+    int best_score = std::numeric_limits<int>::max();
+    int ties = 0;
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      const Port in_port = static_cast<Port>(reqs[i].in_enc / num_vcs_);
+      // The input port may have been claimed by a grant of an earlier
+      // output this cycle.
+      if (in_xbar_free_[static_cast<std::size_t>(in_port)] > now) continue;
+      if (reqs[i].score < best_score) {
+        best_score = reqs[i].score;
+        best = static_cast<int>(i);
+        ties = 1;
+      } else if (reqs[i].score == best_score) {
+        ++ties;
+        if (net.rng().next_below(static_cast<std::uint64_t>(ties)) == 0)
+          best = static_cast<int>(i);
+      }
+    }
+    if (best >= 0) {
+      const Request req = reqs[static_cast<std::size_t>(best)];
+      // ---- commit the grant --------------------------------------------
+      InputVc& iv = inputs_[static_cast<std::size_t>(req.in_enc)];
+      const Port in_port = static_cast<Port>(req.in_enc / num_vcs_);
+      const Vc in_vc = static_cast<Vc>(req.in_enc % num_vcs_);
+      PacketPtr pkt = std::move(iv.q.front());
+      iv.q.pop_front();
+      if (iv.q.empty()) unmark_active(in_port, in_vc);
+      iv.draining = true;
+      iv.cand_valid = false;
+
+      // Cut-through: the tail leaves the input when the crossbar is done
+      // or when it has fully arrived, whichever is later.
+      const Cycle drain_done =
+          std::max(now + cfg.xbar_cycles(), pkt->buf_tail);
+      net.schedule(drain_done,
+                   {Event::Kind::InDrainDone, in_vc, in_port, id_, 0});
+      in_xbar_free_[static_cast<std::size_t>(in_port)] = now + cfg.xbar_cycles();
+
+      OutputPort& op = outputs_[static_cast<std::size_t>(out_port)];
+      op.xbar_free_at = now + cfg.xbar_cycles();
+      OutputVc& ov = op.vcs[static_cast<std::size_t>(req.out_vc)];
+      ov.credits -= len;
+      ov.occupancy += len;
+      ++op.waiting;
+
+      pkt->buf_head = now + cfg.xbar_latency;
+      pkt->buf_tail = drain_done + cfg.xbar_latency;
+
+      if (out_port < num_switch_ports_) {
+        const Candidate cand{out_port, req.out_vc, 0, req.escape,
+                             req.escape_down};
+        net.mechanism().commit_hop(net.ctx(), *pkt, id_, cand);
+        net.metrics().on_hop(req.forced ? HopKind::Forced
+                             : req.escape ? HopKind::Escape
+                                          : HopKind::Routing);
+      }
+      ov.q.push_back(std::move(pkt));
+      net.note_progress();
+    }
+    reqs.clear();
+  }
+  dirty_outputs_.clear();
+}
+
+void Router::link_phase(Network& net, Cycle now) {
+  const SimConfig& cfg = net.cfg();
+  const int len = cfg.packet_length;
+  for (Port p = 0; p < static_cast<Port>(outputs_.size()); ++p) {
+    OutputPort& op = outputs_[static_cast<std::size_t>(p)];
+    if (op.waiting == 0 || op.link_free_at > now) continue;
+    for (int k = 0; k < num_vcs_; ++k) {
+      const int v = (op.rr_next + k) % num_vcs_;
+      OutputVc& ov = op.vcs[static_cast<std::size_t>(v)];
+      if (ov.q.empty() || ov.q.front()->buf_head > now) continue;
+      PacketPtr pkt = std::move(ov.q.front());
+      ov.q.pop_front();
+      --op.waiting;
+      op.link_free_at = now + len;
+      op.rr_next = (v + 1) % num_vcs_;
+      net.schedule(now + len, {Event::Kind::OutTailGone, static_cast<Vc>(v), p,
+                               id_, 0});
+      const Cycle head = now + cfg.link_latency;
+      const Cycle tail = now + cfg.link_latency + len - 1;
+      if (p < num_switch_ports_) {
+        const PortInfo& pi = net.ctx().graph->port(id_, p);
+        HXSP_DCHECK(net.ctx().graph->link_alive(pi.link));
+        net.link_stats().on_transmit(id_, p, len);
+        net.deliver(std::move(pkt), pi.neighbor, pi.remote_port,
+                    static_cast<Vc>(v), head, tail);
+      } else {
+        net.consume_at(std::move(pkt), tail, static_cast<Vc>(v));
+      }
+      net.note_progress();
+      break;
+    }
+  }
+}
+
+void Router::input_drain_done(Network& net, Port port, Vc vc) {
+  InputVc& iv = input_mut(port, vc);
+  HXSP_DCHECK(iv.draining);
+  iv.draining = false;
+  iv.occupancy -= net.cfg().packet_length;
+  HXSP_DCHECK(iv.occupancy >= 0);
+}
+
+void Router::output_tail_gone(Port port, Vc vc, int phits) {
+  OutputVc& ov =
+      outputs_[static_cast<std::size_t>(port)].vcs[static_cast<std::size_t>(vc)];
+  ov.occupancy -= phits;
+  HXSP_DCHECK(ov.occupancy >= 0);
+}
+
+void Router::credit_return(Port port, Vc vc, int phits) {
+  OutputVc& ov =
+      outputs_[static_cast<std::size_t>(port)].vcs[static_cast<std::size_t>(vc)];
+  ov.credits += phits;
+}
+
+void Router::on_tables_rebuilt() {
+  for (auto& iv : inputs_) {
+    iv.cand_valid = false;
+    // Strict-phase escape liveness is proven per table build; restart the
+    // phase so every packet re-derives a valid route on the new tables.
+    for (auto& pkt : iv.q) pkt->escape_gone_down = false;
+  }
+  for (auto& op : outputs_)
+    for (auto& ov : op.vcs)
+      for (auto& pkt : ov.q) pkt->escape_gone_down = false;
+}
+
+int Router::drop_output_queue(Port port, const SimConfig& cfg) {
+  OutputPort& op = outputs_[static_cast<std::size_t>(port)];
+  int dropped = 0;
+  for (auto& ov : op.vcs) {
+    while (!ov.q.empty()) {
+      ov.q.pop_front(); // destroys the packet
+      ov.occupancy -= cfg.packet_length; // no OutTailGone will fire
+      ov.credits += cfg.packet_length;   // reserved downstream space unused
+      --op.waiting;
+      ++dropped;
+    }
+  }
+  return dropped;
+}
+
+int Router::buffered_packets() const {
+  int n = 0;
+  for (const auto& iv : inputs_) n += static_cast<int>(iv.q.size());
+  for (const auto& op : outputs_)
+    for (const auto& ov : op.vcs) n += static_cast<int>(ov.q.size());
+  return n;
+}
+
+void Router::check_invariants(const SimConfig& cfg) const {
+  for (const auto& iv : inputs_) {
+    HXSP_CHECK(iv.occupancy >= 0 && iv.occupancy <= cfg.input_buffer_phits());
+    HXSP_CHECK(static_cast<int>(iv.q.size()) * cfg.packet_length <=
+               iv.occupancy + (iv.draining ? cfg.packet_length : 0));
+  }
+  for (const auto& op : outputs_) {
+    for (const auto& ov : op.vcs) {
+      HXSP_CHECK(ov.occupancy >= 0 && ov.occupancy <= cfg.output_buffer_phits());
+      HXSP_CHECK(ov.credits >= 0);
+    }
+  }
+}
+
+} // namespace hxsp

@@ -1,0 +1,177 @@
+#pragma once
+/// \file router.hpp
+/// Cycle-level input-queued router with virtual channels, virtual
+/// cut-through flow control and the paper's Q+P single-request allocation.
+///
+/// Microarchitecture (paper Table 2):
+///  * per-(port,VC) input FIFOs of 8 packets, credit-based backpressure;
+///  * per-(port,VC) output FIFOs of 4 packets;
+///  * crossbar with internal speedup 2 (a port moves up to 2 phits/cycle
+///    internally) and 1 cycle of latency;
+///  * links of 1 phit/cycle with 1 cycle of latency.
+///
+/// Virtual cut-through at packet granularity: each packet carries the
+/// arrival cycles of its head and tail phits in the current buffer; it may
+/// be allocated as soon as its head has arrived, transfers never outrun
+/// the incoming phit stream (the drain-completion time takes a max with
+/// the tail arrival), and credits are reserved whole-packet as classic
+/// conservative VCT does.
+///
+/// Allocation (paper §3): each eligible head packet computes its candidate
+/// set once (cached while it waits), scores every flow-control-feasible
+/// candidate with Q + P where
+///     qs = output occupancy + consumed credits of the requested queue,
+///     Q  = qs + sum of qs' over all queues of the requested port,
+/// and makes a single request to the minimum; ties break randomly. Each
+/// output port then grants the best request it received this cycle.
+
+#include <deque>
+#include <vector>
+
+#include "routing/mechanism.hpp"
+#include "sim/config.hpp"
+#include "sim/packet.hpp"
+#include "util/types.hpp"
+
+namespace hxsp {
+
+class Network;
+
+/// Per-(input port, VC) buffer state.
+struct InputVc {
+  std::deque<PacketPtr> q;       ///< waiting packets; front = head
+  int occupancy = 0;             ///< phits of reserved space
+  bool draining = false;         ///< head transfer in progress
+  bool cand_valid = false;       ///< cached candidates valid for current head
+  std::vector<Candidate> cand;   ///< cached candidate set of the head
+  int num_routing_cands = 0;     ///< non-escape entries in `cand`
+  int active_pos = -1;           ///< index in Router::active_, -1 = not listed
+};
+
+/// Per-(output port, VC) buffer state plus the credit counter for the
+/// downstream input buffer this queue feeds.
+struct OutputVc {
+  std::deque<PacketPtr> q;  ///< packets heading for the link; front = next
+  int occupancy = 0;        ///< phits reserved (grant) until tail departs
+  int credits = 0;          ///< free phits in the downstream input buffer
+  int base_credits = 0;     ///< downstream capacity (for consumed-credit Q)
+};
+
+/// Per-output-port state shared by its VCs.
+struct OutputPort {
+  std::vector<OutputVc> vcs;
+  Cycle link_free_at = 0;   ///< next cycle the outgoing link can start
+  Cycle xbar_free_at = 0;   ///< next cycle the crossbar may grant to it
+  int rr_next = 0;          ///< round-robin pointer for link scheduling
+  int waiting = 0;          ///< packets queued across this port's VCs
+};
+
+/// One switch of the network.
+class Router {
+ public:
+  /// \p num_switch_ports = topology degree (dead ports included);
+  /// \p num_server_ports = servers attached to this switch.
+  Router(SwitchId id, int num_switch_ports, int num_server_ports,
+         const SimConfig& cfg);
+
+  /// Total ports (switch + server).
+  int num_ports() const { return static_cast<int>(outputs_.size()); }
+
+  /// First server (ejection) port.
+  Port first_server_port() const { return num_switch_ports_; }
+
+  /// This switch's id.
+  SwitchId id() const { return id_; }
+
+  /// Enqueues a packet into input (port, vc); \p head/\p tail are the
+  /// arrival cycles of its first and last phit.
+  void push_input(Network& net, PacketPtr pkt, Port port, Vc vc, Cycle head,
+                  Cycle tail);
+
+  /// Allocation phase: requests + grants for this cycle.
+  void alloc_phase(Network& net, Cycle now);
+
+  /// Link phase: starts output-port transmissions.
+  void link_phase(Network& net, Cycle now);
+
+  // --- event handlers -----------------------------------------------------
+
+  /// The head packet of input (port,vc) finished leaving through the
+  /// crossbar: free its space and stop blocking the next packet.
+  void input_drain_done(Network& net, Port port, Vc vc);
+
+  /// A packet's tail (\p phits long) left output (port,vc) over the link.
+  void output_tail_gone(Port port, Vc vc, int phits);
+
+  /// Credit arrived from the downstream buffer of output (port,vc).
+  void credit_return(Port port, Vc vc, int phits);
+
+  // --- dynamic fault support ----------------------------------------------
+
+  /// Invalidates every cached candidate set and resets the strict-phase
+  /// escape bit of every buffered packet. Called by the network when the
+  /// topology (and therefore the routing tables) changed at runtime.
+  void on_tables_rebuilt();
+
+  /// Drops every packet still queued in the output buffers of \p port
+  /// (they were heading over a link that just died and can no longer be
+  /// transmitted). Frees their buffer reservation and returns their
+  /// credits. Returns the number of packets lost.
+  int drop_output_queue(Port port, const SimConfig& cfg);
+
+  // --- accessors for tests / diagnostics ----------------------------------
+
+  const InputVc& input(Port p, Vc v) const {
+    return inputs_[static_cast<std::size_t>(vc_index(p, v))];
+  }
+  const OutputPort& output(Port p) const {
+    return outputs_[static_cast<std::size_t>(p)];
+  }
+
+  /// Total packets buffered in this router (inputs + outputs).
+  int buffered_packets() const;
+
+  /// Debug invariant sweep: occupancies within bounds, credits sane.
+  void check_invariants(const SimConfig& cfg) const;
+
+ private:
+  friend class Network;
+
+  std::size_t vc_index(Port p, Vc v) const {
+    return static_cast<std::size_t>(p) * static_cast<std::size_t>(num_vcs_) +
+           static_cast<std::size_t>(v);
+  }
+
+  InputVc& input_mut(Port p, Vc v) { return inputs_[vc_index(p, v)]; }
+
+  /// Adds (port,vc) to the active list if absent.
+  void mark_active(Port p, Vc v);
+
+  /// Removes (port,vc) from the active list.
+  void unmark_active(Port p, Vc v);
+
+  /// Q term of the paper's allocation rule for output (port,vc).
+  int queue_score(Port port, Vc vc) const;
+
+  SwitchId id_;
+  int num_switch_ports_;
+  int num_vcs_;
+  std::vector<InputVc> inputs_;     ///< [port][vc] flattened
+  std::vector<OutputPort> outputs_; ///< [port]
+  std::vector<Cycle> in_xbar_free_; ///< per input port
+  std::vector<std::int32_t> active_; ///< encoded (port*V+vc) of non-empty inputs
+
+  /// A request posted to an output port during the current cycle.
+  struct Request {
+    std::int32_t in_enc = -1; ///< encoded input (port*V+vc)
+    Vc out_vc = -1;
+    int score = 0;            ///< Q + P
+    bool escape = false;
+    bool forced = false;
+    bool escape_down = false; ///< strict-phase escape Down step
+  };
+  std::vector<std::vector<Request>> pending_; ///< per output port
+  std::vector<Port> dirty_outputs_;           ///< outputs with requests
+};
+
+} // namespace hxsp

@@ -1,0 +1,95 @@
+#include "sim/server.hpp"
+
+#include "sim/network.hpp"
+
+namespace hxsp {
+
+Server::Server(ServerId id, SwitchId sw, int local, const SimConfig& cfg)
+    : id_(id), switch_(sw), local_(local),
+      queue_capacity_(cfg.server_queue_packets),
+      credits_(static_cast<std::size_t>(cfg.num_vcs), cfg.input_buffer_phits()) {}
+
+void Server::set_offered_load(double load, int packet_length) {
+  HXSP_CHECK(load >= 0.0);
+  inject_prob_ = load / static_cast<double>(packet_length);
+  HXSP_CHECK_MSG(inject_prob_ <= 1.0, "offered load exceeds 1 packet/cycle");
+  remaining_ = -1;
+}
+
+void Server::set_completion(long packets) {
+  HXSP_CHECK(packets >= 0);
+  remaining_ = packets;
+  inject_prob_ = 0.0;
+}
+
+void Server::make_packet(Network& net, Cycle now) {
+  auto pkt = std::make_unique<Packet>();
+  pkt->id = net.next_packet_id();
+  pkt->src_server = id_;
+  pkt->dst_server = net.traffic().destination(id_, net.rng());
+  pkt->src_switch = switch_;
+  pkt->dst_switch = static_cast<SwitchId>(pkt->dst_server /
+                                          net.servers_per_switch());
+  pkt->length = net.cfg().packet_length;
+  pkt->created = now;
+  net.mechanism().on_inject(net.ctx(), *pkt, net.rng());
+  net.metrics().on_generated(id_, now);
+  net.on_packet_created();
+  queue_.push_back(std::move(pkt));
+}
+
+void Server::generation_phase(Network& net, Cycle now) {
+  if (remaining_ >= 0) {
+    // Completion mode: refill the queue as fast as it drains.
+    while (remaining_ > 0 && static_cast<int>(queue_.size()) < queue_capacity_) {
+      make_packet(net, now);
+      --remaining_;
+    }
+    return;
+  }
+  if (inject_prob_ <= 0.0 || !net.rng().next_bool(inject_prob_)) return;
+  // A generation attempt against a full queue is lost: this backpressure
+  // is what the Jain index of generated load measures.
+  if (static_cast<int>(queue_.size()) < queue_capacity_) make_packet(net, now);
+}
+
+void Server::injection_phase(Network& net, Cycle now) {
+  if (queue_.empty() || link_free_at_ > now) return;
+  const int len = net.cfg().packet_length;
+
+  static thread_local std::vector<Vc> legal;
+  legal.clear();
+  net.mechanism().injection_vcs(net.ctx(), *queue_.front(), legal);
+
+  // Join the emptiest legal VC with room for the whole packet.
+  Vc best = kInvalid;
+  int best_credits = len - 1;
+  for (Vc v : legal) {
+    const int c = credits_[static_cast<std::size_t>(v)];
+    if (c > best_credits) {
+      best_credits = c;
+      best = v;
+    }
+  }
+  if (best == kInvalid) return;
+
+  PacketPtr pkt = std::move(queue_.front());
+  queue_.pop_front();
+  pkt->injected = now;
+  pkt->cur_vc = best;
+  credits_[static_cast<std::size_t>(best)] -= len;
+  link_free_at_ = now + len;
+
+  const Port port = net.router(switch_).first_server_port() +
+                    static_cast<Port>(local_);
+  const Cycle head = now + net.cfg().link_latency;
+  const Cycle tail = head + len - 1;
+  net.deliver(std::move(pkt), switch_, port, best, head, tail);
+  net.note_progress();
+}
+
+void Server::credit_return(Vc vc, int phits) {
+  credits_[static_cast<std::size_t>(vc)] += phits;
+}
+
+} // namespace hxsp

@@ -1,0 +1,69 @@
+#pragma once
+/// \file server.hpp
+/// A compute endpoint: generates traffic into a finite injection queue and
+/// feeds its switch through a 1 phit/cycle injection link.
+///
+/// Generation is a Bernoulli process at the offered load (probability
+/// load/packet_length of creating a packet each cycle). When the injection
+/// queue is full the attempt is lost — this backpressure is what makes the
+/// per-server *generated* load diverge under adversarial patterns, which
+/// the paper's Jain index measures. A completion mode instead preloads a
+/// fixed number of packets per server and injects them as fast as the
+/// queue drains (paper Fig 10).
+
+#include <deque>
+#include <vector>
+
+#include "sim/config.hpp"
+#include "sim/packet.hpp"
+#include "util/types.hpp"
+
+namespace hxsp {
+
+class Network;
+
+/// One server attached to a switch.
+class Server {
+ public:
+  Server(ServerId id, SwitchId sw, int local, const SimConfig& cfg);
+
+  /// Bernoulli generation (rate mode) or queue refill (completion mode).
+  void generation_phase(Network& net, Cycle now);
+
+  /// Moves the queue head onto the injection link when possible.
+  void injection_phase(Network& net, Cycle now);
+
+  /// Credit returned by the router's server-port input buffer.
+  void credit_return(Vc vc, int phits);
+
+  /// Sets the offered load in phits/cycle (rate mode).
+  void set_offered_load(double load, int packet_length);
+
+  /// Switches to completion mode with \p packets to send in total.
+  void set_completion(long packets);
+
+  /// Packets still waiting in the injection queue.
+  int queued() const { return static_cast<int>(queue_.size()); }
+
+  /// Packets not yet generated in completion mode (0 in rate mode).
+  long remaining() const { return remaining_ < 0 ? 0 : remaining_; }
+
+  ServerId id() const { return id_; }
+  SwitchId switch_id() const { return switch_; }
+  int local_index() const { return local_; }
+
+ private:
+  void make_packet(Network& net, Cycle now);
+
+  ServerId id_;
+  SwitchId switch_;
+  int local_; ///< index among the servers of this switch
+  int queue_capacity_;
+  double inject_prob_ = 0.0; ///< packets per cycle (Bernoulli)
+  long remaining_ = -1;      ///< completion mode budget; -1 = rate mode
+  std::deque<PacketPtr> queue_;
+  std::vector<int> credits_; ///< per VC of the router's server-port buffer
+  Cycle link_free_at_ = 0;
+};
+
+} // namespace hxsp

@@ -1,0 +1,43 @@
+#include "topology/distance.hpp"
+
+namespace hxsp {
+
+DistanceTable::DistanceTable(const Graph& g)
+    : n_(static_cast<std::size_t>(g.num_switches())), d_(n_ * n_) {
+  for (SwitchId s = 0; s < g.num_switches(); ++s) {
+    const auto row = g.bfs(s);
+    std::copy(row.begin(), row.end(), d_.begin() + static_cast<std::ptrdiff_t>(
+                                                       static_cast<std::size_t>(s) * n_));
+  }
+}
+
+int DistanceTable::diameter() const {
+  std::uint8_t m = 0;
+  for (std::uint8_t v : d_) {
+    if (v == kUnreachable) return kUnreachable;
+    m = std::max(m, v);
+  }
+  return m;
+}
+
+double DistanceTable::average_distance() const {
+  double sum = 0;
+  for (std::uint8_t v : d_) {
+    if (v == kUnreachable) return -1.0;
+    sum += v;
+  }
+  return sum / static_cast<double>(d_.size());
+}
+
+int DistanceTable::eccentricity(SwitchId s) const {
+  std::uint8_t m = 0;
+  const std::size_t base = static_cast<std::size_t>(s) * n_;
+  for (std::size_t i = 0; i < n_; ++i) {
+    const std::uint8_t v = d_[base + i];
+    if (v == kUnreachable) return kUnreachable;
+    m = std::max(m, v);
+  }
+  return m;
+}
+
+} // namespace hxsp

@@ -1,0 +1,55 @@
+#pragma once
+/// \file distance.hpp
+/// All-pairs shortest-path distances over the alive links of a Graph,
+/// plus topological summary statistics (diameter, average distance).
+///
+/// Distance tables are the backbone of every table-based routing in the
+/// paper: Minimal, Valiant phases, Polarized (which reads distances to both
+/// source and target) and the Up/Down escape construction. They are
+/// recomputed from scratch whenever the fault set changes — the paper's
+/// "BFS at boot time, upgrade or failure" (§1, §3).
+
+#include <cstdint>
+#include <vector>
+
+#include "topology/graph.hpp"
+#include "util/types.hpp"
+
+namespace hxsp {
+
+/// Dense all-pairs distance table (uint8 entries, kUnreachable = no path).
+class DistanceTable {
+ public:
+  DistanceTable() = default;
+
+  /// Runs one BFS per switch over alive links. O(V * E).
+  explicit DistanceTable(const Graph& g);
+
+  /// Distance from \p a to \p b in hops; kUnreachable when disconnected.
+  std::uint8_t at(SwitchId a, SwitchId b) const {
+    return d_[static_cast<std::size_t>(a) * n_ + static_cast<std::size_t>(b)];
+  }
+
+  /// True when a path exists between \p a and \p b.
+  bool reachable(SwitchId a, SwitchId b) const { return at(a, b) != kUnreachable; }
+
+  /// Number of switches the table covers.
+  SwitchId num_switches() const { return static_cast<SwitchId>(n_); }
+
+  /// Largest finite distance; kUnreachable when the graph is disconnected.
+  int diameter() const;
+
+  /// Mean distance over all ordered pairs *including* self-pairs, matching
+  /// the convention of the paper's Table 3 (e.g. 2.625 for the 8x8x8).
+  /// Returns -1 when the graph is disconnected.
+  double average_distance() const;
+
+  /// Eccentricity of a switch: max distance to any other switch.
+  int eccentricity(SwitchId s) const;
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<std::uint8_t> d_;
+};
+
+} // namespace hxsp

@@ -1,0 +1,65 @@
+#pragma once
+/// \file faults.hpp
+/// Link-fault models from the paper's evaluation (§6).
+///
+/// Two families:
+///  * Random uniform faults — "sets of random failures are a realistic
+///    model of common failures" (Fig 1, Fig 6). Generated as a seeded
+///    random ordering of links so that growing fault counts are prefixes
+///    of one sequence, exactly like the paper's cumulative experiments.
+///  * Structured shapes — "prepare for the unexpected" configurations
+///    (Figs 7-9): Row, Subplane/Subcube, Cross/Star. Each shape reports a
+///    suggested escape-subnetwork root inside the faulted region, because
+///    the paper deliberately roots the escape tree there "seeking for a
+///    more stressful situation".
+
+#include <vector>
+
+#include "topology/graph.hpp"
+#include "topology/hyperx.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace hxsp {
+
+/// A structured fault configuration: the links to kill plus the escape
+/// root the paper uses for that experiment.
+struct ShapeFault {
+  std::vector<LinkId> links;     ///< Links removed by the shape.
+  SwitchId suggested_root = 0;   ///< Escape root inside the faulted region.
+  std::vector<SwitchId> switches; ///< Switches touched by the shape.
+};
+
+/// Random permutation of all link ids; taking the first f elements gives
+/// the fault set after f failures (prefix property matches Fig 1 / Fig 6).
+std::vector<LinkId> random_fault_sequence(const Graph& g, Rng& rng);
+
+/// First \p count links of a fresh random sequence; when \p keep_connected
+/// is set, links whose removal would disconnect the graph are skipped
+/// (the sequence is consumed until \p count safe faults are found).
+std::vector<LinkId> random_fault_links(const Graph& g, int count, Rng& rng,
+                                       bool keep_connected = false);
+
+/// Full row: all links inside the K_k formed by varying dimension \p dim
+/// while the remaining coordinates equal \p fixed (indexed by dimension;
+/// entry \p dim is ignored). 2D 16x16 => 120 links; 3D 8x8x8 => 28 links.
+ShapeFault row_fault(const HyperX& hx, int dim, const std::vector<int>& fixed);
+
+/// Sub-HyperX: all links between switches whose every coordinate i lies in
+/// [start[i], start[i]+extent[i]). 5x5 subplane in 2D => 100 links;
+/// 3x3x3 subcube in 3D => 81 links.
+ShapeFault subcube_fault(const HyperX& hx, const std::vector<int>& start,
+                         const std::vector<int>& extent);
+
+/// Cross (2D) / Star (3D): for each dimension, take the line through
+/// \p center and remove all links joining two switches of a chosen
+/// \p segment-element coordinate subset that includes the center.
+/// 2D with segment 11 => 110 links (the paper's Cross, margin 5);
+/// 3D with segment 7 => 63 links and the center keeps exactly
+/// dims() alive links (the paper's Star, margin 1).
+ShapeFault star_fault(const HyperX& hx, SwitchId center, int segment);
+
+/// Applies (fails) a list of links on a graph.
+void apply_faults(Graph& g, const std::vector<LinkId>& links);
+
+} // namespace hxsp

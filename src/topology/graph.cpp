@@ -1,0 +1,101 @@
+#include "topology/graph.hpp"
+
+#include <deque>
+
+namespace hxsp {
+
+Graph::Graph(SwitchId num_switches) {
+  HXSP_CHECK(num_switches > 0);
+  ports_.resize(static_cast<std::size_t>(num_switches));
+}
+
+LinkId Graph::add_link(SwitchId a, SwitchId b) {
+  HXSP_CHECK(a >= 0 && a < num_switches() && b >= 0 && b < num_switches());
+  HXSP_CHECK_MSG(a != b, "self-loop links are not allowed");
+  const LinkId id = static_cast<LinkId>(links_.size());
+  const Port pa = degree(a);
+  const Port pb = degree(b);
+  ports_[static_cast<std::size_t>(a)].push_back({b, pb, id});
+  ports_[static_cast<std::size_t>(b)].push_back({a, pa, id});
+  links_.push_back({a, b, pa, pb});
+  link_alive_.push_back(1);
+  ++alive_links_;
+  return id;
+}
+
+void Graph::fail_link(LinkId l) {
+  auto& alive = link_alive_[static_cast<std::size_t>(l)];
+  if (alive) {
+    alive = 0;
+    --alive_links_;
+  }
+}
+
+void Graph::restore_link(LinkId l) {
+  auto& alive = link_alive_[static_cast<std::size_t>(l)];
+  if (!alive) {
+    alive = 1;
+    ++alive_links_;
+  }
+}
+
+void Graph::restore_all() {
+  for (LinkId l = 0; l < num_links(); ++l) restore_link(l);
+}
+
+Port Graph::alive_degree(SwitchId s) const {
+  Port n = 0;
+  for (const auto& pi : ports(s))
+    if (link_alive(pi.link)) ++n;
+  return n;
+}
+
+std::vector<std::uint8_t> Graph::bfs(SwitchId source) const {
+  std::vector<std::uint8_t> dist(static_cast<std::size_t>(num_switches()), kUnreachable);
+  std::deque<SwitchId> q;
+  dist[static_cast<std::size_t>(source)] = 0;
+  q.push_back(source);
+  while (!q.empty()) {
+    const SwitchId u = q.front();
+    q.pop_front();
+    const std::uint8_t du = dist[static_cast<std::size_t>(u)];
+    if (du == kUnreachable - 1) continue; // saturate instead of overflow
+    for (const auto& pi : ports(u)) {
+      if (!link_alive(pi.link)) continue;
+      auto& dv = dist[static_cast<std::size_t>(pi.neighbor)];
+      if (dv == kUnreachable) {
+        dv = static_cast<std::uint8_t>(du + 1);
+        q.push_back(pi.neighbor);
+      }
+    }
+  }
+  return dist;
+}
+
+bool Graph::connected() const { return num_components() == 1; }
+
+int Graph::num_components() const {
+  std::vector<char> seen(static_cast<std::size_t>(num_switches()), 0);
+  int comps = 0;
+  std::deque<SwitchId> q;
+  for (SwitchId s = 0; s < num_switches(); ++s) {
+    if (seen[static_cast<std::size_t>(s)]) continue;
+    ++comps;
+    seen[static_cast<std::size_t>(s)] = 1;
+    q.push_back(s);
+    while (!q.empty()) {
+      const SwitchId u = q.front();
+      q.pop_front();
+      for (const auto& pi : ports(u)) {
+        if (!link_alive(pi.link)) continue;
+        if (!seen[static_cast<std::size_t>(pi.neighbor)]) {
+          seen[static_cast<std::size_t>(pi.neighbor)] = 1;
+          q.push_back(pi.neighbor);
+        }
+      }
+    }
+  }
+  return comps;
+}
+
+} // namespace hxsp

@@ -1,0 +1,105 @@
+#pragma once
+/// \file graph.hpp
+/// Undirected switch-level graph with stable port numbering and per-link
+/// fault state.
+///
+/// This is the substrate every routing algorithm operates on. Ports are
+/// assigned when links are added and never renumbered, so disabling a link
+/// (a fault) leaves the surviving port map intact — exactly how a physical
+/// switch behaves when a cable dies.
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/types.hpp"
+
+namespace hxsp {
+
+/// One endpoint's view of an incident link.
+struct PortInfo {
+  SwitchId neighbor = kInvalid; ///< Switch at the other end.
+  Port remote_port = kInvalid;  ///< Port number at the other end.
+  LinkId link = kInvalid;       ///< Global undirected link id.
+};
+
+/// Undirected multigraph over switches, with O(1) port lookup and
+/// link-level fault toggling.
+class Graph {
+ public:
+  /// Creates a graph with \p num_switches isolated switches.
+  explicit Graph(SwitchId num_switches);
+
+  /// Adds an undirected link between \p a and \p b; returns its LinkId.
+  /// Port numbers are assigned in insertion order at each endpoint.
+  LinkId add_link(SwitchId a, SwitchId b);
+
+  /// Number of switches.
+  SwitchId num_switches() const { return static_cast<SwitchId>(ports_.size()); }
+
+  /// Number of links ever added (alive or faulty).
+  LinkId num_links() const { return static_cast<LinkId>(links_.size()); }
+
+  /// Number of currently alive links.
+  LinkId num_alive_links() const { return alive_links_; }
+
+  /// Degree of switch \p s = number of ports (including dead ones).
+  Port degree(SwitchId s) const {
+    return static_cast<Port>(ports_[static_cast<std::size_t>(s)].size());
+  }
+
+  /// Port table for switch \p s (indexed by local port number).
+  const std::vector<PortInfo>& ports(SwitchId s) const {
+    return ports_[static_cast<std::size_t>(s)];
+  }
+
+  /// Endpoint info of the link behind (switch, port).
+  const PortInfo& port(SwitchId s, Port p) const {
+    return ports_[static_cast<std::size_t>(s)][static_cast<std::size_t>(p)];
+  }
+
+  /// True when the link behind (switch, port) is alive.
+  bool port_alive(SwitchId s, Port p) const {
+    return link_alive_[static_cast<std::size_t>(port(s, p).link)];
+  }
+
+  /// True when link \p l is alive.
+  bool link_alive(LinkId l) const { return link_alive_[static_cast<std::size_t>(l)]; }
+
+  /// The two endpoints of link \p l as (switch, port) pairs.
+  struct LinkEnds {
+    SwitchId a, b;
+    Port port_a, port_b;
+  };
+  const LinkEnds& link(LinkId l) const { return links_[static_cast<std::size_t>(l)]; }
+
+  /// Marks link \p l faulty. Idempotent.
+  void fail_link(LinkId l);
+
+  /// Restores link \p l. Idempotent.
+  void restore_link(LinkId l);
+
+  /// Restores every link.
+  void restore_all();
+
+  /// Alive-degree of switch \p s (ports whose links are up).
+  Port alive_degree(SwitchId s) const;
+
+  /// Single-source BFS over alive links; returns distances with
+  /// kUnreachable for switches in other components.
+  std::vector<std::uint8_t> bfs(SwitchId source) const;
+
+  /// True when every switch can reach every other over alive links.
+  bool connected() const;
+
+  /// Number of connected components over alive links.
+  int num_components() const;
+
+ private:
+  std::vector<std::vector<PortInfo>> ports_;
+  std::vector<LinkEnds> links_;
+  std::vector<char> link_alive_; ///< char (not bool) for data-race-free simplicity
+  LinkId alive_links_ = 0;
+};
+
+} // namespace hxsp

@@ -1,0 +1,143 @@
+#include "topology/hyperx.hpp"
+
+#include <numeric>
+
+namespace hxsp {
+
+namespace {
+SwitchId product(const std::vector<int>& sides) {
+  long long p = 1;
+  for (int k : sides) {
+    HXSP_CHECK_MSG(k >= 2, "HyperX sides must be >= 2");
+    p *= k;
+    HXSP_CHECK_MSG(p <= (1 << 22), "HyperX too large for this simulator");
+  }
+  return static_cast<SwitchId>(p);
+}
+} // namespace
+
+HyperX::HyperX(std::vector<int> sides, int servers_per_switch)
+    : sides_(std::move(sides)),
+      servers_per_switch_(servers_per_switch),
+      graph_(product(sides_)) {
+  HXSP_CHECK(servers_per_switch_ >= 1);
+  const SwitchId n = graph_.num_switches();
+
+  // Decode coordinates (dimension 0 is the fastest-varying digit).
+  coords_.resize(static_cast<std::size_t>(n));
+  for (SwitchId s = 0; s < n; ++s) {
+    auto& c = coords_[static_cast<std::size_t>(s)];
+    c.resize(sides_.size());
+    SwitchId rem = s;
+    for (std::size_t i = 0; i < sides_.size(); ++i) {
+      c[i] = static_cast<int>(rem % sides_[i]);
+      rem /= sides_[i];
+    }
+  }
+
+  // Port layout: dimension blocks in ascending order; within a block the
+  // neighbours appear by ascending coordinate (own coordinate skipped).
+  dim_port_base_.resize(sides_.size() + 1);
+  dim_port_base_[0] = 0;
+  for (std::size_t i = 0; i < sides_.size(); ++i)
+    dim_port_base_[i + 1] = dim_port_base_[i] + (sides_[i] - 1);
+
+  // Add every link exactly once (from its lower-id endpoint), iterating
+  // port slots in rounds. Because Graph::add_link appends ports, we must
+  // create each switch's incident links in canonical slot order at *both*
+  // endpoints. Iterating "slot-major, then switch id" achieves this: all
+  // lower-id neighbours of a switch u in dimension d share the single slot
+  // base[d]+coord_u[d]-1 at their end and are visited in ascending id
+  // (= ascending coordinate) order, which is exactly u's canonical order
+  // for targets below its own coordinate; u's own slots for targets above
+  // its coordinate come in later rounds, ascending. The HXSP_DCHECK sweep
+  // below re-verifies the resulting numbering exhaustively.
+  const int slots = dim_port_base_.back();
+  for (int slot = 0; slot < slots; ++slot) {
+    int dim = 0;
+    while (slot >= dim_port_base_[static_cast<std::size_t>(dim) + 1]) ++dim;
+    const int idx = slot - dim_port_base_[static_cast<std::size_t>(dim)];
+    for (SwitchId s = 0; s < n; ++s) {
+      const auto& c = coords_[static_cast<std::size_t>(s)];
+      const int target =
+          idx < c[static_cast<std::size_t>(dim)] ? idx : idx + 1;
+      std::vector<int> nc = c;
+      nc[static_cast<std::size_t>(dim)] = target;
+      const SwitchId t = switch_at(nc);
+      if (s < t) graph_.add_link(s, t);
+    }
+  }
+
+#ifndef NDEBUG
+  // Verify canonical port numbering end-to-end.
+  for (SwitchId s = 0; s < n; ++s) {
+    const auto& c = coords_[static_cast<std::size_t>(s)];
+    for (std::size_t i = 0; i < sides_.size(); ++i) {
+      for (int a = 0; a < sides_[i]; ++a) {
+        if (a == c[i]) continue;
+        Port p = port_towards(s, static_cast<int>(i), a);
+        std::vector<int> nc = c;
+        nc[i] = a;
+        HXSP_DCHECK(graph_.port(s, p).neighbor == switch_at(nc));
+      }
+    }
+  }
+#endif
+}
+
+HyperX HyperX::regular(int dims, int side, int servers_per_switch) {
+  if (servers_per_switch < 0) servers_per_switch = side;
+  return HyperX(std::vector<int>(static_cast<std::size_t>(dims), side),
+                servers_per_switch);
+}
+
+int HyperX::radix() const {
+  int r = servers_per_switch_;
+  for (int k : sides_) r += k - 1;
+  return r;
+}
+
+SwitchId HyperX::switch_at(const std::vector<int>& coords) const {
+  HXSP_DCHECK(coords.size() == sides_.size());
+  SwitchId id = 0;
+  for (std::size_t i = sides_.size(); i-- > 0;) {
+    HXSP_DCHECK(coords[i] >= 0 && coords[i] < sides_[i]);
+    id = id * sides_[i] + coords[i];
+  }
+  return id;
+}
+
+Port HyperX::port_towards(SwitchId s, int dim, int target_coord) const {
+  const int own = coord(s, dim);
+  HXSP_DCHECK(target_coord != own && target_coord >= 0 &&
+              target_coord < side(dim));
+  const int idx = target_coord < own ? target_coord : target_coord - 1;
+  return static_cast<Port>(dim_port_base_[static_cast<std::size_t>(dim)] + idx);
+}
+
+int HyperX::port_dim(SwitchId /*s*/, Port p) const {
+  HXSP_DCHECK(p >= 0 && p < dim_port_base_.back());
+  int dim = 0;
+  while (p >= dim_port_base_[static_cast<std::size_t>(dim) + 1]) ++dim;
+  return dim;
+}
+
+int HyperX::hamming_distance(SwitchId a, SwitchId b) const {
+  const auto& ca = coords(a);
+  const auto& cb = coords(b);
+  int d = 0;
+  for (std::size_t i = 0; i < ca.size(); ++i) d += ca[i] != cb[i];
+  return d;
+}
+
+std::string HyperX::describe() const {
+  std::string s = "HyperX ";
+  for (std::size_t i = 0; i < sides_.size(); ++i) {
+    if (i) s += "x";
+    s += std::to_string(sides_[i]);
+  }
+  s += ", " + std::to_string(servers_per_switch_) + " servers/switch";
+  return s;
+}
+
+} // namespace hxsp

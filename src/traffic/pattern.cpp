@@ -1,0 +1,10 @@
+/// \file pattern.cpp
+/// Out-of-line anchor for the TrafficPattern vtable; implementations of the
+/// concrete patterns live in patterns.cpp.
+
+#include "traffic/pattern.hpp"
+
+namespace hxsp {
+// TrafficPattern is a pure interface; nothing to define here. This file
+// exists so the library has a stable home for future shared pattern code.
+} // namespace hxsp

@@ -1,0 +1,35 @@
+#pragma once
+/// \file check.hpp
+/// Assertion macros used across hxsp.
+///
+/// HXSP_CHECK is always compiled in (cheap invariants, config validation).
+/// HXSP_DCHECK compiles to nothing in NDEBUG builds and guards the
+/// expensive simulator invariants (credit conservation, buffer bounds).
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace hxsp::detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const char* msg) {
+  std::fprintf(stderr, "hxsp check failed: %s\n  at %s:%d\n  %s\n", expr, file, line,
+               msg ? msg : "");
+  std::abort();
+}
+} // namespace hxsp::detail
+
+#define HXSP_CHECK(expr)                                                          \
+  do {                                                                            \
+    if (!(expr)) ::hxsp::detail::check_failed(#expr, __FILE__, __LINE__, nullptr); \
+  } while (0)
+
+#define HXSP_CHECK_MSG(expr, msg)                                              \
+  do {                                                                         \
+    if (!(expr)) ::hxsp::detail::check_failed(#expr, __FILE__, __LINE__, msg); \
+  } while (0)
+
+#ifdef NDEBUG
+#define HXSP_DCHECK(expr) ((void)0)
+#else
+#define HXSP_DCHECK(expr) HXSP_CHECK(expr)
+#endif

@@ -1,0 +1,34 @@
+#include "util/log.hpp"
+
+#include <cstdio>
+
+namespace hxsp {
+
+namespace {
+LogLevel g_level = LogLevel::Info;
+const char* tag(LogLevel l) {
+  switch (l) {
+    case LogLevel::Error: return "E";
+    case LogLevel::Warn: return "W";
+    case LogLevel::Info: return "I";
+    case LogLevel::Debug: return "D";
+  }
+  return "?";
+}
+} // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+
+LogLevel log_level() { return g_level; }
+
+void logf(LogLevel level, const char* fmt, ...) {
+  if (static_cast<int>(level) > static_cast<int>(g_level)) return;
+  std::fprintf(stderr, "[hxsp %s] ", tag(level));
+  va_list ap;
+  va_start(ap, fmt);
+  std::vfprintf(stderr, fmt, ap);
+  va_end(ap);
+  std::fputc('\n', stderr);
+}
+
+} // namespace hxsp

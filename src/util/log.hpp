@@ -1,0 +1,21 @@
+#pragma once
+/// \file log.hpp
+/// Tiny leveled logger. Benches run with Info; tests usually silence it.
+
+#include <cstdarg>
+
+namespace hxsp {
+
+/// Severity levels, in increasing verbosity.
+enum class LogLevel { Error = 0, Warn = 1, Info = 2, Debug = 3 };
+
+/// Sets the global threshold; messages above it are dropped.
+void set_log_level(LogLevel level);
+
+/// Current threshold.
+LogLevel log_level();
+
+/// printf-style logging at \p level to stderr, prefixed with the level tag.
+void logf(LogLevel level, const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+
+} // namespace hxsp

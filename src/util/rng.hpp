@@ -1,0 +1,63 @@
+#pragma once
+/// \file rng.hpp
+/// Deterministic pseudo-random number generation.
+///
+/// Every stochastic element of the simulator (traffic destinations, fault
+/// sampling, allocator tie-breaks, Valiant intermediates) draws from an
+/// explicitly seeded Rng so that experiments are exactly reproducible.
+/// The generator is xoshiro256**, seeded through SplitMix64 as its authors
+/// recommend; both are tiny, fast and of high statistical quality.
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace hxsp {
+
+/// SplitMix64 step; used for seeding and as a cheap stateless mixer.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** engine with convenience sampling helpers.
+class Rng {
+ public:
+  /// Constructs a generator whose full 256-bit state derives from \p seed.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Next raw 64-bit output.
+  std::uint64_t next_u64();
+
+  /// Uniform integer in [0, bound). \p bound must be positive.
+  /// Uses Lemire's multiply-shift rejection method (unbiased).
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_range(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Bernoulli trial with probability \p p (clamped to [0,1]).
+  bool next_bool(double p);
+
+  /// Fisher-Yates shuffle of \p v.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(next_below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Uniformly random permutation of {0, ..., n-1}.
+  std::vector<std::int32_t> permutation(std::int32_t n);
+
+  /// Forks an independent stream; children with distinct tags do not collide.
+  Rng fork(std::uint64_t tag) const;
+
+ private:
+  std::uint64_t s_[4];
+};
+
+} // namespace hxsp

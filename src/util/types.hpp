@@ -1,0 +1,39 @@
+#pragma once
+/// \file types.hpp
+/// Fundamental integer aliases shared by every hxsp module.
+///
+/// All identifiers are signed so that -1 can serve as the universal
+/// "invalid" sentinel; widths are chosen so the largest networks we
+/// simulate (a few thousand switches, tens of thousands of servers)
+/// fit comfortably.
+
+#include <cstdint>
+
+namespace hxsp {
+
+/// Simulation time, measured in router clock cycles.
+using Cycle = std::int64_t;
+
+/// Index of a switch (router) inside a topology, in [0, num_switches).
+using SwitchId = std::int32_t;
+
+/// Index of a server (compute endpoint), in [0, num_servers).
+using ServerId = std::int32_t;
+
+/// Index of an undirected link inside a topology, in [0, num_links).
+using LinkId = std::int32_t;
+
+/// Local port number of a router. Ports [0, degree) are switch-to-switch;
+/// ports [degree, degree + servers_per_switch) attach servers.
+using Port = std::int32_t;
+
+/// Virtual-channel index within a port, in [0, num_vcs).
+using Vc = std::int32_t;
+
+/// Sentinel meaning "no such entity" for any of the id types above.
+inline constexpr std::int32_t kInvalid = -1;
+
+/// Saturated distance value used by distance tables (uint8 storage).
+inline constexpr std::uint8_t kUnreachable = 0xFF;
+
+} // namespace hxsp

@@ -1,0 +1,172 @@
+/// \file faults_test.cpp
+/// Fault-model tests: exact link counts of every shape the paper uses
+/// (Fig 7: Row 120 / Subplane 100 / Cross 110 in 2D; §6: Row 28 /
+/// Subcube 81 / Star 63 in 3D), root degrees, prefix property of random
+/// sequences, and connectivity preservation.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "topology/distance.hpp"
+#include "topology/faults.hpp"
+
+namespace hxsp {
+namespace {
+
+TEST(RandomFaults, SequenceIsPermutationOfLinks) {
+  const HyperX hx = HyperX::regular(2, 4, 1);
+  Rng rng(1);
+  const auto seq = random_fault_sequence(hx.graph(), rng);
+  EXPECT_EQ(seq.size(), static_cast<std::size_t>(hx.graph().num_links()));
+  std::set<LinkId> s(seq.begin(), seq.end());
+  EXPECT_EQ(s.size(), seq.size());
+}
+
+TEST(RandomFaults, SameSeedSameSequence) {
+  const HyperX hx = HyperX::regular(2, 4, 1);
+  Rng a(9), b(9);
+  EXPECT_EQ(random_fault_sequence(hx.graph(), a),
+            random_fault_sequence(hx.graph(), b));
+}
+
+TEST(RandomFaults, KeepConnectedNeverDisconnects) {
+  const HyperX hx = HyperX::regular(2, 4, 1);
+  Rng rng(3);
+  // 4x4 HyperX has 48 links; removing 30 at random would often disconnect.
+  const auto faults = random_fault_links(hx.graph(), 30, rng, true);
+  EXPECT_EQ(faults.size(), 30u);
+  Graph g = hx.graph();
+  apply_faults(g, faults);
+  EXPECT_TRUE(g.connected());
+}
+
+TEST(RandomFaults, CountZeroIsEmpty) {
+  const HyperX hx = HyperX::regular(2, 4, 1);
+  Rng rng(4);
+  EXPECT_TRUE(random_fault_links(hx.graph(), 0, rng).empty());
+}
+
+TEST(ShapeFaults, Row2DPaperCount) {
+  const HyperX hx = HyperX::regular(2, 16);
+  // A full row of side 16 is a K16: 120 links (paper §6).
+  const ShapeFault sf = row_fault(hx, 0, {0, 3});
+  EXPECT_EQ(sf.links.size(), 120u);
+  EXPECT_EQ(sf.switches.size(), 16u);
+  // The suggested root lies in the faulted row.
+  EXPECT_EQ(hx.coord(sf.suggested_root, 1), 3);
+}
+
+TEST(ShapeFaults, Row3DPaperCount) {
+  const HyperX hx = HyperX::regular(3, 8);
+  // A K8 row: 28 links (paper §6).
+  const ShapeFault sf = row_fault(hx, 1, {2, 0, 5});
+  EXPECT_EQ(sf.links.size(), 28u);
+  EXPECT_EQ(sf.switches.size(), 8u);
+}
+
+TEST(ShapeFaults, Subplane2DPaperCount) {
+  const HyperX hx = HyperX::regular(2, 16);
+  // 5x5 subplane: K5 x K5 has 100 internal links (paper §6).
+  const ShapeFault sf = subcube_fault(hx, {0, 0}, {5, 5});
+  EXPECT_EQ(sf.links.size(), 100u);
+  EXPECT_EQ(sf.switches.size(), 25u);
+}
+
+TEST(ShapeFaults, Subcube3DPaperCount) {
+  const HyperX hx = HyperX::regular(3, 8);
+  // 3x3x3 subcube: 81 internal links (paper §6).
+  const ShapeFault sf = subcube_fault(hx, {1, 1, 1}, {3, 3, 3});
+  EXPECT_EQ(sf.links.size(), 81u);
+  EXPECT_EQ(sf.switches.size(), 27u);
+}
+
+TEST(ShapeFaults, Cross2DPaperCount) {
+  const HyperX hx = HyperX::regular(2, 16);
+  // Cross with margin: two 11-switch segments -> 2 * C(11,2) = 110 links,
+  // and the center loses 20 of its 30 switch links (2/3, as §6 states).
+  const SwitchId center = hx.switch_at({5, 5});
+  const ShapeFault sf = star_fault(hx, center, 11);
+  EXPECT_EQ(sf.links.size(), 110u);
+  EXPECT_EQ(sf.suggested_root, center);
+  Graph g = hx.graph();
+  apply_faults(g, sf.links);
+  EXPECT_EQ(g.alive_degree(center), 30 - 20);
+  EXPECT_TRUE(g.connected());
+}
+
+TEST(ShapeFaults, Star3DPaperCount) {
+  const HyperX hx = HyperX::regular(3, 8);
+  // Star: three 7-switch segments -> 3 * C(7,2) = 63 links; the center
+  // keeps exactly 3 alive links (paper §6).
+  const SwitchId center = hx.switch_at({4, 4, 4});
+  const ShapeFault sf = star_fault(hx, center, 7);
+  EXPECT_EQ(sf.links.size(), 63u);
+  Graph g = hx.graph();
+  apply_faults(g, sf.links);
+  EXPECT_EQ(g.alive_degree(center), 3);
+  EXPECT_TRUE(g.connected());
+}
+
+TEST(ShapeFaults, RowKeepsNetworkConnected) {
+  const HyperX hx = HyperX::regular(2, 8, 1);
+  Graph g = hx.graph();
+  apply_faults(g, row_fault(hx, 0, {0, 0}).links);
+  EXPECT_TRUE(g.connected());
+  // Switches of the row lose their 7 row links but keep column links.
+  EXPECT_EQ(g.alive_degree(hx.switch_at({0, 0})), 7);
+}
+
+TEST(ShapeFaults, SubcubeDisjointFromOutsideLinks) {
+  const HyperX hx = HyperX::regular(2, 8, 1);
+  const ShapeFault sf = subcube_fault(hx, {2, 2}, {3, 3});
+  std::set<SwitchId> members(sf.switches.begin(), sf.switches.end());
+  for (LinkId l : sf.links) {
+    const auto& e = hx.graph().link(l);
+    EXPECT_TRUE(members.count(e.a));
+    EXPECT_TRUE(members.count(e.b));
+  }
+}
+
+TEST(ShapeFaults, DiameterGrowsUnderRowFault) {
+  const HyperX hx = HyperX::regular(2, 8, 1);
+  Graph g = hx.graph();
+  apply_faults(g, row_fault(hx, 0, {0, 0}).links);
+  const DistanceTable d(g);
+  // Two switches in the broken row now need a detour: distance 2, so the
+  // diameter rises from 2 to at least 3.
+  EXPECT_GE(d.diameter(), 3);
+}
+
+/// Property sweep: growing random fault prefixes never decrease the
+/// diameter and eventually disconnect the network (paper Fig 1 behaviour).
+class FaultSequenceProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(FaultSequenceProperty, DiameterMonotoneUntilDisconnect) {
+  const HyperX hx = HyperX::regular(3, 4, 1);
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const auto seq = random_fault_sequence(hx.graph(), rng);
+  Graph g = hx.graph();
+  int last_diameter = DistanceTable(g).diameter();
+  EXPECT_EQ(last_diameter, 3);
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    g.fail_link(seq[i]);
+    if (i % 16 != 0) continue; // sample every 16 faults
+    if (!g.connected()) {
+      SUCCEED();
+      return;
+    }
+    const int diam = DistanceTable(g).diameter();
+    EXPECT_GE(diam, last_diameter);
+    last_diameter = diam;
+  }
+  // Removing all links certainly disconnects: should not reach here with
+  // the graph still connected.
+  EXPECT_FALSE(g.connected());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultSequenceProperty,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+} // namespace
+} // namespace hxsp

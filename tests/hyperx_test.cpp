@@ -1,0 +1,127 @@
+/// \file hyperx_test.cpp
+/// HyperX topology tests: coordinates, canonical port numbering, distances
+/// equal Hamming distances, and the paper's Table 3 parameters.
+
+#include <gtest/gtest.h>
+
+#include "topology/distance.hpp"
+#include "topology/hyperx.hpp"
+
+namespace hxsp {
+namespace {
+
+TEST(HyperX, CoordinateRoundTrip) {
+  const HyperX hx({4, 3, 2}, 2);
+  EXPECT_EQ(hx.num_switches(), 24);
+  for (SwitchId s = 0; s < hx.num_switches(); ++s)
+    EXPECT_EQ(hx.switch_at(hx.coords(s)), s);
+}
+
+TEST(HyperX, NeighborCountsAndLinks) {
+  const HyperX hx = HyperX::regular(2, 4, 4);
+  EXPECT_EQ(hx.num_switches(), 16);
+  // Each switch: (4-1)*2 = 6 switch ports.
+  for (SwitchId s = 0; s < 16; ++s) EXPECT_EQ(hx.graph().degree(s), 6);
+  EXPECT_EQ(hx.graph().num_links(), 16 * 6 / 2);
+}
+
+TEST(HyperX, PortTowardsReachesExpectedNeighbor) {
+  const HyperX hx({4, 4}, 4);
+  for (SwitchId s = 0; s < hx.num_switches(); ++s) {
+    for (int dim = 0; dim < 2; ++dim) {
+      for (int a = 0; a < 4; ++a) {
+        if (a == hx.coord(s, dim)) continue;
+        const Port p = hx.port_towards(s, dim, a);
+        const SwitchId n = hx.graph().port(s, p).neighbor;
+        EXPECT_EQ(hx.coord(n, dim), a);
+        for (int other = 0; other < 2; ++other)
+          if (other != dim) EXPECT_EQ(hx.coord(n, other), hx.coord(s, other));
+        EXPECT_EQ(hx.port_dim(s, p), dim);
+      }
+    }
+  }
+}
+
+TEST(HyperX, RemotePortSymmetry) {
+  const HyperX hx({3, 3, 3}, 1);
+  const Graph& g = hx.graph();
+  for (SwitchId s = 0; s < hx.num_switches(); ++s) {
+    for (Port p = 0; p < g.degree(s); ++p) {
+      const PortInfo& pi = g.port(s, p);
+      EXPECT_EQ(g.port(pi.neighbor, pi.remote_port).neighbor, s);
+      EXPECT_EQ(g.port(pi.neighbor, pi.remote_port).remote_port, p);
+    }
+  }
+}
+
+TEST(HyperX, GraphDistanceEqualsHammingDistance) {
+  const HyperX hx({4, 3, 2}, 1);
+  const DistanceTable d(hx.graph());
+  for (SwitchId a = 0; a < hx.num_switches(); ++a)
+    for (SwitchId b = 0; b < hx.num_switches(); ++b)
+      EXPECT_EQ(d.at(a, b), hx.hamming_distance(a, b));
+}
+
+TEST(HyperX, ServerMapping) {
+  const HyperX hx({4, 4}, 8);
+  EXPECT_EQ(hx.num_servers(), 128);
+  for (ServerId v = 0; v < hx.num_servers(); ++v) {
+    EXPECT_EQ(hx.server_at(hx.server_switch(v), hx.server_local(v)), v);
+    EXPECT_GE(hx.server_local(v), 0);
+    EXPECT_LT(hx.server_local(v), 8);
+  }
+}
+
+TEST(HyperX, RegularDefaultsServersToSide) {
+  const HyperX hx = HyperX::regular(3, 4);
+  EXPECT_EQ(hx.servers_per_switch(), 4);
+  EXPECT_EQ(hx.num_servers(), 64 * 4);
+}
+
+/// Paper Table 3, 2D HyperX column: side 16, 256 switches, radix 46,
+/// 16 servers/switch, 4096 servers, 3840 links, diameter 2.
+TEST(HyperX, Table3Parameters2D) {
+  const HyperX hx = HyperX::regular(2, 16);
+  EXPECT_EQ(hx.num_switches(), 256);
+  EXPECT_EQ(hx.radix(), 46);
+  EXPECT_EQ(hx.servers_per_switch(), 16);
+  EXPECT_EQ(hx.num_servers(), 4096);
+  EXPECT_EQ(hx.graph().num_links(), 3840);
+  const DistanceTable d(hx.graph());
+  EXPECT_EQ(d.diameter(), 2);
+  // Average over ordered pairs including self = 1.875 (Table 3 prints 1.8).
+  EXPECT_NEAR(d.average_distance(), 1.875, 1e-9);
+}
+
+/// Paper Table 3, 3D HyperX column: side 8, 512 switches, radix 29,
+/// 8 servers/switch, 4096 servers, 5376 links, diameter 3, avg 2.625.
+TEST(HyperX, Table3Parameters3D) {
+  const HyperX hx = HyperX::regular(3, 8);
+  EXPECT_EQ(hx.num_switches(), 512);
+  EXPECT_EQ(hx.radix(), 29);
+  EXPECT_EQ(hx.servers_per_switch(), 8);
+  EXPECT_EQ(hx.num_servers(), 4096);
+  EXPECT_EQ(hx.graph().num_links(), 5376);
+  const DistanceTable d(hx.graph());
+  EXPECT_EQ(d.diameter(), 3);
+  EXPECT_NEAR(d.average_distance(), 2.625, 1e-9);
+}
+
+TEST(HyperX, DescribeMentionsSidesAndServers) {
+  const HyperX hx({8, 8, 8}, 8);
+  const std::string s = hx.describe();
+  EXPECT_NE(s.find("8x8x8"), std::string::npos);
+  EXPECT_NE(s.find("8 servers"), std::string::npos);
+}
+
+TEST(HyperX, MixedSides) {
+  const HyperX hx({2, 5}, 3);
+  EXPECT_EQ(hx.num_switches(), 10);
+  // degree = (2-1) + (5-1) = 5
+  for (SwitchId s = 0; s < 10; ++s) EXPECT_EQ(hx.graph().degree(s), 5);
+  const DistanceTable d(hx.graph());
+  EXPECT_EQ(d.diameter(), 2);
+}
+
+} // namespace
+} // namespace hxsp

@@ -1,0 +1,202 @@
+/// \file integration_test.cpp
+/// End-to-end behavioural tests reproducing the paper's qualitative
+/// claims at miniature scale: throughput orderings under benign and
+/// adversarial traffic, fault tolerance of SurePath, and the failure of
+/// ladder-based routing narratives. Heavier than unit tests but still
+/// seconds-scale.
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hpp"
+
+namespace hxsp {
+namespace {
+
+ExperimentSpec spec_2d(const std::string& mech, const std::string& pattern) {
+  ExperimentSpec s;
+  s.sides = {4, 4};
+  s.servers_per_switch = 4;
+  s.mechanism = mech;
+  s.pattern = pattern;
+  s.sim.num_vcs = 4;
+  s.warmup = 2000;
+  s.measure = 4000;
+  s.seed = 11;
+  return s;
+}
+
+ExperimentSpec spec_3d(const std::string& mech, const std::string& pattern) {
+  ExperimentSpec s;
+  s.sides = {4, 4, 4};
+  s.servers_per_switch = 2; // keep runtime small
+  s.mechanism = mech;
+  s.pattern = pattern;
+  s.sim.num_vcs = 6;
+  s.warmup = 2000;
+  s.measure = 4000;
+  s.seed = 11;
+  return s;
+}
+
+double saturation_throughput(ExperimentSpec s) {
+  Experiment e(s);
+  return e.run_load(1.0).accepted;
+}
+
+TEST(Integration, UniformThroughputOrdering) {
+  // Paper Fig 4, Uniform: every mechanism except Valiant achieves high
+  // throughput; Valiant halves it by doubling path length.
+  const double minimal = saturation_throughput(spec_2d("minimal", "uniform"));
+  const double valiant = saturation_throughput(spec_2d("valiant", "uniform"));
+  const double omnisp = saturation_throughput(spec_2d("omnisp", "uniform"));
+  const double polsp = saturation_throughput(spec_2d("polsp", "uniform"));
+  EXPECT_GT(minimal, 0.7);
+  EXPECT_GT(omnisp, 0.7);
+  EXPECT_GT(polsp, 0.6);
+  EXPECT_LT(valiant, minimal - 0.15);
+  EXPECT_GT(valiant, 0.3);
+}
+
+TEST(Integration, SurePathMatchesLadderOnUniform) {
+  // OmniSP/PolSP should not degrade the fault-free performance of their
+  // ladder-managed counterparts (Fig 4/5).
+  const double omniwar = saturation_throughput(spec_2d("omniwar", "uniform"));
+  const double omnisp = saturation_throughput(spec_2d("omnisp", "uniform"));
+  const double polarized = saturation_throughput(spec_2d("polarized", "uniform"));
+  const double polsp = saturation_throughput(spec_2d("polsp", "uniform"));
+  EXPECT_GT(omnisp, omniwar - 0.1);
+  EXPECT_GT(polsp, polarized - 0.1);
+}
+
+TEST(Integration, DcrIsAdversarialForMinimal) {
+  // Paper Fig 4 DCR: Minimal collapses (all traffic crosses the same few
+  // links); Valiant reaches its optimal 0.5; adaptive mechanisms match it.
+  const double minimal = saturation_throughput(spec_2d("minimal", "dcr"));
+  const double valiant = saturation_throughput(spec_2d("valiant", "dcr"));
+  const double polsp = saturation_throughput(spec_2d("polsp", "dcr"));
+  EXPECT_LT(minimal, valiant);
+  EXPECT_GT(valiant, 0.35);
+  EXPECT_GT(polsp, 0.35);
+}
+
+TEST(Integration, RpnSeparatesOmniFromPolarized) {
+  // Paper Fig 5 RPN: Omnidimensional routes stay confined to aligned
+  // dimensions (bisection bound 0.5 when servers_per_switch == side, §4);
+  // Polarized exploits 3-hop unaligned routes and exceeds the bound.
+  auto rpn_spec = [](const char* mech) {
+    ExperimentSpec s = spec_3d(mech, "rpn");
+    s.servers_per_switch = 4; // the bound requires sps == side
+    return s;
+  };
+  const double omnisp = saturation_throughput(rpn_spec("omnisp"));
+  const double polsp = saturation_throughput(rpn_spec("polsp"));
+  const double minimal = saturation_throughput(rpn_spec("minimal"));
+  EXPECT_LT(minimal, 0.58);        // aligned single path: ~0.5 cap
+  EXPECT_LE(omnisp, 0.65);         // aligned adaptive: capped near 0.5
+  EXPECT_GT(polsp, omnisp - 0.02); // polarized at least matches
+}
+
+TEST(Integration, SurePathSurvivesRandomFaults) {
+  // Paper Fig 6: throughput degrades smoothly with random faults.
+  ExperimentSpec s = spec_2d("polsp", "uniform");
+  Experiment healthy(s);
+  const double base = healthy.run_load(1.0).accepted;
+
+  HyperX scratch(s.sides, s.servers_per_switch);
+  Rng rng(3);
+  s.fault_links = random_fault_links(scratch.graph(), 8, rng, true);
+  Experiment faulty(s);
+  const double after = faulty.run_load(1.0).accepted;
+  EXPECT_GT(after, 0.25);
+  EXPECT_GT(after, base * 0.5);
+}
+
+TEST(Integration, OmniSpSurvivesRandomFaults) {
+  ExperimentSpec s = spec_2d("omnisp", "uniform");
+  HyperX scratch(s.sides, s.servers_per_switch);
+  Rng rng(4);
+  s.fault_links = random_fault_links(scratch.graph(), 8, rng, true);
+  Experiment faulty(s);
+  EXPECT_GT(faulty.run_load(1.0).accepted, 0.25);
+}
+
+TEST(Integration, RowFaultModestDegradation) {
+  // Paper Fig 8: a Row fault costs about 11% throughput, not a collapse.
+  ExperimentSpec s = spec_2d("polsp", "uniform");
+  const double base = saturation_throughput(s);
+  HyperX scratch(s.sides, s.servers_per_switch);
+  const ShapeFault sf = row_fault(scratch, 0, {0, 1});
+  s.fault_links = sf.links;
+  s.escape_root = sf.suggested_root; // root inside the fault (paper setup)
+  const double after = saturation_throughput(s);
+  EXPECT_GT(after, base * 0.55);
+}
+
+TEST(Integration, CrossFaultHurtsMore) {
+  // Paper Fig 8: Cross is the stressful configuration (root loses 2/3 of
+  // its links); throughput drops further than Row but stays functional.
+  ExperimentSpec s = spec_2d("polsp", "uniform");
+  HyperX scratch(s.sides, s.servers_per_switch);
+  const SwitchId center = scratch.switch_at({1, 1});
+  const ShapeFault cross = star_fault(scratch, center, 3);
+  s.fault_links = cross.links;
+  s.escape_root = center;
+  const double after = saturation_throughput(s);
+  EXPECT_GT(after, 0.2);
+}
+
+TEST(Integration, ForcedHopsAppearUnderFaults) {
+  // OmniSP under faults must route some packets through the escape
+  // subnetwork when Omnidimensional has no alive candidate (§3, §6).
+  ExperimentSpec s = spec_2d("omnisp", "uniform");
+  HyperX scratch(s.sides, s.servers_per_switch);
+  Rng rng(5);
+  s.fault_links = random_fault_links(scratch.graph(), 10, rng, true);
+  Experiment e(s);
+  const ResultRow row = e.run_load(0.8);
+  EXPECT_GT(row.escape_frac, 0.0);
+}
+
+TEST(Integration, StrictEscapeModeEquivalentThroughput) {
+  // The provably deadlock-free strict phase mode should cost little.
+  ExperimentSpec s = spec_2d("polsp", "uniform");
+  const double dflt = saturation_throughput(s);
+  s.escape_strict_phase = true;
+  const double strict = saturation_throughput(s);
+  EXPECT_GT(strict, dflt - 0.15);
+}
+
+TEST(Integration, CompletionRpnPolspDrains) {
+  // Miniature of the paper's Fig 10 set-up: Star fault + RPN, completion
+  // mode. Both SurePath variants must drain (no livelock/deadlock) even
+  // with the root almost disconnected.
+  for (const char* mech : {"omnisp", "polsp"}) {
+    ExperimentSpec s = spec_3d(mech, "rpn");
+    HyperX scratch(s.sides, s.servers_per_switch);
+    const SwitchId center = scratch.switch_at({2, 2, 2});
+    const ShapeFault sf = star_fault(scratch, center, 3);
+    s.fault_links = sf.links;
+    s.escape_root = center;
+    Experiment e(s);
+    const CompletionResult res = e.run_completion(30, 1000, 400000);
+    EXPECT_TRUE(res.drained) << mech;
+  }
+}
+
+TEST(Integration, WalkRouteMatchesDistancesForMinimal) {
+  ExperimentSpec s = spec_2d("minimal", "uniform");
+  Experiment e(s);
+  for (SwitchId a = 0; a < e.hyperx().num_switches(); a += 3)
+    for (SwitchId b = 0; b < e.hyperx().num_switches(); b += 5) {
+      if (a == b) continue;
+      EXPECT_EQ(e.walk_route(a, b, 8), e.distances().at(a, b));
+    }
+}
+
+TEST(Integration, DorDeliversEverythingFaultFree) {
+  const double dor = saturation_throughput(spec_2d("dor", "uniform"));
+  EXPECT_GT(dor, 0.4);
+}
+
+} // namespace
+} // namespace hxsp
