@@ -26,6 +26,7 @@ const char* policy_name(CRoutVcPolicy p) {
     case CRoutVcPolicy::Free: return "free";
     case CRoutVcPolicy::Monotone: return "monotone";
     case CRoutVcPolicy::Rung: return "rung";
+    case CRoutVcPolicy::Auto: return "auto";
   }
   return "?";
 }

@@ -5,7 +5,10 @@
 /// (§3.1.2, §6). This bench sweeps the VC count for OmniSP/PolSP and the
 /// ladder baselines on the 3D topology.
 ///
-/// Usage: ablation_vcs [--paper] [--csv=file] [--seed=N]
+/// Runs are fanned across a ParallelSweep pool (--jobs=N, default
+/// hardware concurrency); output is bit-identical at any worker count.
+///
+/// Usage: ablation_vcs [--paper] [--csv=file] [--seed=N] [--jobs=N]
 
 #include "bench_util.hpp"
 
@@ -22,6 +25,15 @@ int main(int argc, char** argv) {
                 base);
 
   Table t({"vcs", "mechanism", "pattern", "accepted", "escape_frac"});
+
+  // Every (vcs, mechanism, pattern) cell is independent: fan the grid
+  // across the sweep pool, results delivered in submission order.
+  struct Cell {
+    int vcs;
+    std::string pattern;
+  };
+  std::vector<SweepPoint> points;
+  std::vector<Cell> cells;
   for (int vcs : {2, 3, 4, 6}) {
     for (const auto& mech :
          {std::string("omnisp"), std::string("polsp"), std::string("omniwar"),
@@ -34,17 +46,22 @@ int main(int argc, char** argv) {
         s.sim.num_vcs = vcs;
         s.mechanism = mech;
         s.pattern = pattern;
-        Experiment e(s);
-        const ResultRow r = e.run_load(1.0);
-        std::printf("vcs=%d %-10s %-8s acc=%.3f esc=%.3f\n", vcs,
-                    r.mechanism.c_str(), pattern.c_str(), r.accepted,
-                    r.escape_frac);
-        t.row().cell(static_cast<long>(vcs)).cell(r.mechanism).cell(pattern)
-            .cell(r.accepted, 4).cell(r.escape_frac, 4);
-        std::fflush(stdout);
+        points.push_back({s, 1.0});
+        cells.push_back({vcs, pattern});
       }
     }
   }
+
+  ParallelSweep sweep(bench::sweep_jobs(opt));
+  sweep.run(points, [&](std::size_t i, const ResultRow& r) {
+    const Cell& c = cells[i];
+    std::printf("vcs=%d %-10s %-8s acc=%.3f esc=%.3f\n", c.vcs,
+                r.mechanism.c_str(), c.pattern.c_str(), r.accepted,
+                r.escape_frac);
+    t.row().cell(static_cast<long>(c.vcs)).cell(r.mechanism).cell(c.pattern)
+        .cell(r.accepted, 4).cell(r.escape_frac, 4);
+    std::fflush(stdout);
+  });
   std::printf("\nExpectation: OmniSP/PolSP at 4 VCs match or beat the 6-VC\n"
               "ladders, and remain functional even at 2 VCs.\n");
   bench::maybe_csv(opt, t, "ablation_vcs.csv");

@@ -9,10 +9,18 @@
 #include <vector>
 
 #include "harness/presets.hpp"
+#include "harness/sweep.hpp"
+#include "topology/faults.hpp"
 #include "util/log.hpp"
 #include "util/table.hpp"
 
 namespace hxsp::bench {
+
+/// Worker count for ParallelSweep-based drivers: --jobs=N, default 0
+/// (hardware concurrency); --jobs=1 recovers the old serial behaviour.
+inline int sweep_jobs(const Options& opt) {
+  return static_cast<int>(opt.get_int("jobs", 0));
+}
 
 /// Prints the standard bench banner: what paper artefact this reproduces,
 /// at which scale, with which simulation parameters.
@@ -77,6 +85,68 @@ inline void quick_cycles(const Options& opt, bool paper, ExperimentSpec& spec) {
   if (paper) return;
   spec.warmup = opt.get_int("warmup", 1500);
   spec.measure = opt.get_int("measure", 3000);
+}
+
+/// A named fault region of the Fig 7–9 shape studies.
+struct ShapeDef {
+  const char* name;
+  ShapeFault fault;
+};
+
+/// The fig08/fig09 shape-grid sweep: for every (mechanism, pattern) pair a
+/// healthy reference plus every shape, fanned across \p workers threads.
+/// Healthy points are submitted first per pair and ParallelSweep delivers
+/// results in submission order, so each shape row reads the healthy
+/// throughput ("top marks") delivered just before it — do not reorder the
+/// submission without also buffering the references. Prints one row per
+/// shape run (shape name padded to \p name_width) and appends it to \p t.
+inline void run_shape_grid(const ExperimentSpec& base,
+                           const std::vector<ShapeDef>& shapes,
+                           const std::vector<std::string>& patterns,
+                           int workers, int name_width, Table& t) {
+  struct Cell {
+    int shape = -1;  ///< index into shapes; -1 = healthy reference
+    std::string pattern;
+  };
+  std::vector<SweepPoint> points;
+  std::vector<Cell> cells;
+  for (const auto& mech : surepath_mechanisms()) {
+    for (const auto& pattern : patterns) {
+      ExperimentSpec h = base;
+      h.mechanism = mech;
+      h.pattern = pattern;
+      points.push_back({h, 1.0});
+      cells.push_back({-1, pattern});
+      for (std::size_t sh = 0; sh < shapes.size(); ++sh) {
+        ExperimentSpec s = h;
+        s.fault_links = shapes[sh].fault.links;
+        s.escape_root = shapes[sh].fault.suggested_root;
+        points.push_back({s, 1.0});
+        cells.push_back({static_cast<int>(sh), pattern});
+      }
+    }
+  }
+
+  ParallelSweep sweep(workers);
+  double healthy = 0.0;  // most recent healthy reference
+  sweep.run(points, [&](std::size_t i, const ResultRow& r) {
+    const Cell& c = cells[i];
+    if (c.shape < 0) {
+      healthy = r.accepted;
+      return;
+    }
+    const ShapeDef& shape = shapes[static_cast<std::size_t>(c.shape)];
+    const double deg = healthy > 0 ? 1.0 - r.accepted / healthy : 0.0;
+    std::printf("%-*s %-8s %-10s faults=%-4zu acc=%.3f healthy=%.3f "
+                "degradation=%4.1f%% esc=%.3f\n",
+                name_width, shape.name, c.pattern.c_str(), r.mechanism.c_str(),
+                shape.fault.links.size(), r.accepted, healthy, 100 * deg,
+                r.escape_frac);
+    t.row().cell(shape.name).cell(static_cast<long>(shape.fault.links.size()))
+        .cell(r.mechanism).cell(c.pattern).cell(r.accepted, 4)
+        .cell(healthy, 4).cell(deg, 4).cell(r.escape_frac, 4);
+    std::fflush(stdout);
+  });
 }
 
 } // namespace hxsp::bench

@@ -9,7 +9,10 @@
 /// (100 links), Cross = two 11-switch segments (110 links, the root keeps
 /// 1/3 of its links). Reduced scale mirrors the proportions.
 ///
-/// Usage: fig08_2d_shapes [--paper] [--csv=file] [--seed=N]
+/// Runs are fanned across a ParallelSweep pool (--jobs=N, default
+/// hardware concurrency); output is bit-identical at any worker count.
+///
+/// Usage: fig08_2d_shapes [--paper] [--csv=file] [--seed=N] [--jobs=N]
 
 #include "bench_util.hpp"
 #include "topology/faults.hpp"
@@ -33,11 +36,7 @@ int main(int argc, char** argv) {
   const int seg = std::max(3, side * 11 / 16);    // 11 at side 16
   const SwitchId center = scratch.switch_at({side / 3, side / 3});
 
-  struct Shape {
-    const char* name;
-    ShapeFault fault;
-  };
-  std::vector<Shape> shapes;
+  std::vector<bench::ShapeDef> shapes;
   shapes.push_back({"Row", row_fault(scratch, 0, {0, side / 3})});
   shapes.push_back({"Subplane",
                     subcube_fault(scratch, {0, 0}, {sub, sub})});
@@ -49,36 +48,9 @@ int main(int argc, char** argv) {
 
   Table t({"shape", "faulty_links", "mechanism", "pattern", "accepted",
            "healthy", "degradation", "escape_frac"});
-  for (const auto& mech : bench::surepath_mechanisms()) {
-    for (const auto& pattern : bench::patterns_2d()) {
-      // Healthy reference ("top marks" in the paper's bars).
-      ExperimentSpec h = base;
-      h.mechanism = mech;
-      h.pattern = pattern;
-      Experiment ehealthy(h);
-      const double healthy = ehealthy.run_load(1.0).accepted;
 
-      for (const auto& shape : shapes) {
-        ExperimentSpec s = base;
-        s.mechanism = mech;
-        s.pattern = pattern;
-        s.fault_links = shape.fault.links;
-        s.escape_root = shape.fault.suggested_root;
-        Experiment e(s);
-        const ResultRow r = e.run_load(1.0);
-        const double deg = healthy > 0 ? 1.0 - r.accepted / healthy : 0.0;
-        std::printf("%-9s %-8s %-10s faults=%-4zu acc=%.3f healthy=%.3f "
-                    "degradation=%4.1f%% esc=%.3f\n",
-                    shape.name, pattern.c_str(), r.mechanism.c_str(),
-                    shape.fault.links.size(), r.accepted, healthy, 100 * deg,
-                    r.escape_frac);
-        t.row().cell(shape.name).cell(static_cast<long>(shape.fault.links.size()))
-            .cell(r.mechanism).cell(pattern).cell(r.accepted, 4)
-            .cell(healthy, 4).cell(deg, 4).cell(r.escape_frac, 4);
-        std::fflush(stdout);
-      }
-    }
-  }
+  bench::run_shape_grid(base, shapes, bench::patterns_2d(),
+                        bench::sweep_jobs(opt), 9, t);
   std::printf("\nPaper shape check: Row and Subplane cost ~11%%; Cross is the\n"
               "stressful one (root loses 2/3 of its links), with the largest\n"
               "drop under Uniform (~37%% in the paper).\n");

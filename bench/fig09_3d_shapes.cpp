@@ -5,7 +5,10 @@
 /// the escape root with only 3 alive links) — for all four patterns, with
 /// healthy references.
 ///
-/// Usage: fig09_3d_shapes [--paper] [--csv=file] [--seed=N]
+/// Runs are fanned across a ParallelSweep pool (--jobs=N, default
+/// hardware concurrency); output is bit-identical at any worker count.
+///
+/// Usage: fig09_3d_shapes [--paper] [--csv=file] [--seed=N] [--jobs=N]
 
 #include "bench_util.hpp"
 #include "topology/faults.hpp"
@@ -28,11 +31,7 @@ int main(int argc, char** argv) {
   const SwitchId center = scratch.switch_at(
       std::vector<int>(3, side / 2));
 
-  struct Shape {
-    const char* name;
-    ShapeFault fault;
-  };
-  std::vector<Shape> shapes;
+  std::vector<bench::ShapeDef> shapes;
   shapes.push_back({"Row", row_fault(scratch, 0, {0, side / 2, side / 2})});
   shapes.push_back({"Subcube", subcube_fault(scratch, {0, 0, 0}, {sub, sub, sub})});
   shapes.push_back({"Star", star_fault(scratch, center, seg)});
@@ -49,35 +48,9 @@ int main(int argc, char** argv) {
 
   Table t({"shape", "faulty_links", "mechanism", "pattern", "accepted",
            "healthy", "degradation", "escape_frac"});
-  for (const auto& mech : bench::surepath_mechanisms()) {
-    for (const auto& pattern : bench::patterns_3d()) {
-      ExperimentSpec h = base;
-      h.mechanism = mech;
-      h.pattern = pattern;
-      Experiment ehealthy(h);
-      const double healthy = ehealthy.run_load(1.0).accepted;
 
-      for (const auto& shape : shapes) {
-        ExperimentSpec s = base;
-        s.mechanism = mech;
-        s.pattern = pattern;
-        s.fault_links = shape.fault.links;
-        s.escape_root = shape.fault.suggested_root;
-        Experiment e(s);
-        const ResultRow r = e.run_load(1.0);
-        const double deg = healthy > 0 ? 1.0 - r.accepted / healthy : 0.0;
-        std::printf("%-8s %-8s %-10s faults=%-4zu acc=%.3f healthy=%.3f "
-                    "degradation=%4.1f%% esc=%.3f\n",
-                    shape.name, pattern.c_str(), r.mechanism.c_str(),
-                    shape.fault.links.size(), r.accepted, healthy, 100 * deg,
-                    r.escape_frac);
-        t.row().cell(shape.name).cell(static_cast<long>(shape.fault.links.size()))
-            .cell(r.mechanism).cell(pattern).cell(r.accepted, 4)
-            .cell(healthy, 4).cell(deg, 4).cell(r.escape_frac, 4);
-        std::fflush(stdout);
-      }
-    }
-  }
+  bench::run_shape_grid(base, shapes, bench::patterns_3d(),
+                        bench::sweep_jobs(opt), 8, t);
   std::printf("\nPaper shape check: Row/Subcube behave like the 2D case; the\n"
               "RPN pattern keeps PolSP ahead except under Star faults, where\n"
               "in-cast at the 3-link root changes the picture (see Fig 10).\n");

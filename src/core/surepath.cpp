@@ -34,7 +34,7 @@ void SurePathMechanism::candidates(const NetworkContext& ctx, const Packet& p,
   // rests on the escape subnetwork in every mode, which is what allows
   // SurePath to run with as few as 2 VCs and under faults (§3.1.2).
   if (!p.in_escape) {
-    static thread_local std::vector<PortCand> scratch;
+    std::vector<PortCand>& scratch = route_scratch_;
     scratch.clear();
     algo_->ports(ctx, p, sw, scratch);
     Vc lo = 0, hi = top;
@@ -56,7 +56,7 @@ void SurePathMechanism::candidates(const NetworkContext& ctx, const Packet& p,
 
   // Rule 2: escape candidates for every packet, on the escape VC. Once on
   // CEsc a packet never returns to CRout.
-  static thread_local std::vector<EscapeCand> esc;
+  std::vector<EscapeCand>& esc = escape_scratch_;
   esc.clear();
   ctx.escape->candidates(sw, p.dst_switch, p.escape_gone_down, esc);
   for (const EscapeCand& ec : esc)

@@ -1,0 +1,94 @@
+#include "harness/sweep.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+
+namespace hxsp {
+
+ResultRow run_sweep_point(const SweepPoint& point) {
+  Experiment e(point.spec);
+  return e.run_load(point.offered);
+}
+
+ParallelSweep::ParallelSweep(int workers) : pool_(workers) {}
+
+std::vector<ResultRow> ParallelSweep::run(
+    const std::vector<SweepPoint>& points,
+    const std::function<void(std::size_t, const ResultRow&)>& on_result) {
+  std::vector<ResultRow> rows(points.size());
+  if (points.empty()) return rows;
+
+  std::mutex mu;
+  std::condition_variable ready;
+  std::vector<char> done(points.size(), 0);
+  std::vector<std::exception_ptr> errors(points.size());
+  std::atomic<bool> aborted{false};
+
+  // Everything below may throw (submit allocates, a point's Experiment
+  // may fail, on_result is caller code); before any exception unwinds
+  // this frame the pool must drain, since in-flight jobs reference the
+  // locals above. Results are delivered strictly in submission order —
+  // workers may finish in any order, the caller never observes that.
+  try {
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      pool_.submit([&, i] {
+        // Once an error is pending the run only needs to drain, not
+        // compute: skip still-queued simulations (each can be minutes
+        // at paper scale). A throw must not escape the worker thread
+        // (std::terminate); capture it and rethrow on the delivering
+        // thread, in order.
+        if (!aborted.load(std::memory_order_relaxed)) {
+          try {
+            rows[i] = run_sweep_point(points[i]);
+          } catch (...) {
+            errors[i] = std::current_exception();
+          }
+        }
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          done[i] = 1;
+        }
+        ready.notify_all();
+      });
+    }
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      std::unique_lock<std::mutex> lock(mu);
+      ready.wait(lock, [&] { return done[i] != 0; });
+      lock.unlock();
+      if (errors[i]) std::rethrow_exception(errors[i]);
+      if (on_result) on_result(i, rows[i]);
+    }
+  } catch (...) {
+    aborted.store(true, std::memory_order_relaxed);
+    pool_.wait_idle();
+    throw;
+  }
+  pool_.wait_idle();
+  return rows;
+}
+
+std::vector<SweepPoint> ParallelSweep::expand_loads(
+    const ExperimentSpec& spec, const std::vector<double>& loads) {
+  std::vector<SweepPoint> points;
+  points.reserve(loads.size());
+  for (double load : loads) points.push_back({spec, load});
+  return points;
+}
+
+std::vector<SweepPoint> ParallelSweep::expand_seeds(const ExperimentSpec& spec,
+                                                    double offered,
+                                                    std::uint64_t first_seed,
+                                                    int trials) {
+  std::vector<SweepPoint> points;
+  points.reserve(static_cast<std::size_t>(trials));
+  for (int t = 0; t < trials; ++t) {
+    SweepPoint p{spec, offered};
+    p.spec.seed = first_seed + static_cast<std::uint64_t>(t);
+    points.push_back(std::move(p));
+  }
+  return points;
+}
+
+} // namespace hxsp

@@ -1,0 +1,70 @@
+#pragma once
+/// \file sweep.hpp
+/// Parallel experiment sweeps.
+///
+/// Every figure in the paper is a grid of *independent* simulations
+/// (mechanism x pattern x load x fault set x seed). ParallelSweep fans
+/// such a grid across a ThreadPool: each SweepPoint gets its own
+/// Experiment (own topology copy, tables, traffic and RNG stream, all
+/// derived from the spec's seed), so no mutable state crosses tasks and
+/// the merged result vector is bit-identical to running the same points
+/// in a serial loop — results are always delivered in submission order,
+/// whatever order the workers finish in.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "harness/experiment.hpp"
+#include "util/thread_pool.hpp"
+
+namespace hxsp {
+
+/// One independent simulation: a full spec plus the offered load to run.
+struct SweepPoint {
+  ExperimentSpec spec;
+  double offered = 1.0;
+};
+
+/// Fans SweepPoints across worker threads and merges results in
+/// submission order. The pool persists across run() calls, so one
+/// ParallelSweep can serve a whole bench driver.
+class ParallelSweep {
+ public:
+  /// \p workers <= 0 selects the hardware concurrency.
+  explicit ParallelSweep(int workers = 0);
+
+  int workers() const { return pool_.size(); }
+
+  /// Runs every point; result i is points[i]'s ResultRow. When
+  /// \p on_result is provided it is invoked on the calling thread in
+  /// submission order (point 0 first) as soon as each result and all its
+  /// predecessors are ready — incremental output stays deterministic.
+  /// An exception from a point or from \p on_result propagates to the
+  /// caller only after every in-flight worker job has finished, so no
+  /// worker can outlive the run's state; still-queued points are skipped
+  /// rather than simulated during that drain.
+  std::vector<ResultRow> run(
+      const std::vector<SweepPoint>& points,
+      const std::function<void(std::size_t, const ResultRow&)>& on_result = {});
+
+  /// One spec swept over \p loads (the throughput/latency curves).
+  static std::vector<SweepPoint> expand_loads(const ExperimentSpec& spec,
+                                              const std::vector<double>& loads);
+
+  /// One configuration repeated over \p trials seeds (fault-trial
+  /// averaging): point t runs with seed first_seed + t at \p offered.
+  static std::vector<SweepPoint> expand_seeds(const ExperimentSpec& spec,
+                                              double offered,
+                                              std::uint64_t first_seed,
+                                              int trials);
+
+ private:
+  ThreadPool pool_;
+};
+
+/// Runs one point to completion (what each worker executes); exposed so
+/// tests can compare the serial and parallel paths directly.
+ResultRow run_sweep_point(const SweepPoint& point);
+
+} // namespace hxsp

@@ -22,7 +22,7 @@ Vc LadderMechanism::rung(int hops, int num_vcs) const {
 
 void LadderMechanism::candidates(const NetworkContext& ctx, const Packet& p,
                                  SwitchId sw, std::vector<Candidate>& out) const {
-  static thread_local std::vector<PortCand> scratch;
+  std::vector<PortCand>& scratch = route_scratch_;
   scratch.clear();
   algo_->ports(ctx, p, sw, scratch);
   const Vc base = rung(p.hops, ctx.num_vcs);

@@ -57,6 +57,9 @@ class LadderMechanism final : public RoutingMechanism {
   std::unique_ptr<RouteAlgorithm> algo_;
   int vcs_per_step_;
   std::string display_;
+  // Scratch for candidates(); instance-scoped (not static/thread_local) so
+  // experiments sharing a pool thread cannot observe each other's state.
+  mutable std::vector<PortCand> route_scratch_;
 };
 
 } // namespace hxsp

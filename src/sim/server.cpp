@@ -57,7 +57,7 @@ void Server::injection_phase(Network& net, Cycle now) {
   if (queue_.empty() || link_free_at_ > now) return;
   const int len = net.cfg().packet_length;
 
-  static thread_local std::vector<Vc> legal;
+  std::vector<Vc>& legal = legal_scratch_;
   legal.clear();
   net.mechanism().injection_vcs(net.ctx(), *queue_.front(), legal);
 

@@ -64,6 +64,9 @@ class Server {
   std::deque<PacketPtr> queue_;
   std::vector<int> credits_; ///< per VC of the router's server-port buffer
   Cycle link_free_at_ = 0;
+  // Scratch for injection_phase(); instance-scoped (not static/thread_local)
+  // so concurrent Networks on a sweep pool never share it.
+  std::vector<Vc> legal_scratch_;
 };
 
 } // namespace hxsp

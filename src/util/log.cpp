@@ -1,11 +1,15 @@
 #include "util/log.hpp"
 
+#include <atomic>
 #include <cstdio>
+#include <vector>
 
 namespace hxsp {
 
 namespace {
-LogLevel g_level = LogLevel::Info;
+// Atomic: sweep workers read the threshold while the owner thread may
+// reconfigure it; relaxed ordering suffices for a filter knob.
+std::atomic<LogLevel> g_level{LogLevel::Info};
 const char* tag(LogLevel l) {
   switch (l) {
     case LogLevel::Error: return "E";
@@ -17,18 +21,32 @@ const char* tag(LogLevel l) {
 }
 } // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
 
-LogLevel log_level() { return g_level; }
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
 void logf(LogLevel level, const char* fmt, ...) {
-  if (static_cast<int>(level) > static_cast<int>(g_level)) return;
-  std::fprintf(stderr, "[hxsp %s] ", tag(level));
+  if (static_cast<int>(level) > static_cast<int>(log_level())) return;
+  // One fprintf per message: sweep workers log concurrently and stdio
+  // only guarantees atomicity per call, so piecewise emission would let
+  // prefix/body/newline of different threads interleave.
+  char buf[1024];
   va_list ap;
   va_start(ap, fmt);
-  std::vfprintf(stderr, fmt, ap);
+  va_list ap2;
+  va_copy(ap2, ap);
+  const int n = std::vsnprintf(buf, sizeof buf, fmt, ap);
   va_end(ap);
-  std::fputc('\n', stderr);
+  if (n >= static_cast<int>(sizeof buf)) {
+    std::vector<char> big(static_cast<std::size_t>(n) + 1);
+    std::vsnprintf(big.data(), big.size(), fmt, ap2);
+    std::fprintf(stderr, "[hxsp %s] %s\n", tag(level), big.data());
+  } else if (n >= 0) {
+    std::fprintf(stderr, "[hxsp %s] %s\n", tag(level), buf);
+  }
+  va_end(ap2);
 }
 
 } // namespace hxsp

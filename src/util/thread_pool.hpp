@@ -1,0 +1,64 @@
+#pragma once
+/// \file thread_pool.hpp
+/// A fixed-size worker pool for fanning independent jobs across cores.
+///
+/// The sweep engine (harness/sweep.hpp) runs dozens to hundreds of
+/// independent simulations per figure; this pool is the substrate. Jobs
+/// are opaque callables executed in FIFO submission order (each by
+/// whichever worker frees up first); wait_idle() gives the caller a
+/// barrier. Determinism is the job author's responsibility: jobs must not
+/// share mutable state, which the harness guarantees by giving every
+/// simulation its own Experiment and writing results into pre-sized slots.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hxsp {
+
+class ThreadPool {
+ public:
+  /// Spawns \p workers threads; workers <= 0 selects the hardware
+  /// concurrency (at least 1).
+  explicit ThreadPool(int workers = 0);
+
+  /// Drains outstanding jobs, then joins every worker.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues \p job for execution. Safe from any thread, including from
+  /// inside a running job (but a job must not wait_idle()). Jobs must not
+  /// throw: an escaping exception terminates the process (std::thread
+  /// semantics) — catch inside the job and hand the error back yourself,
+  /// as ParallelSweep does.
+  void submit(std::function<void()> job);
+
+  /// Blocks until every submitted job has finished. Only the owner thread
+  /// may call this.
+  void wait_idle();
+
+  /// Number of worker threads.
+  int size() const { return static_cast<int>(threads_.size()); }
+
+  /// The pool size chosen for \p requested workers (0 -> hardware).
+  static int resolve_workers(int requested);
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t in_flight_ = 0;  ///< queued + currently executing jobs
+  bool stopping_ = false;
+  std::vector<std::thread> threads_;
+};
+
+} // namespace hxsp

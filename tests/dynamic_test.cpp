@@ -122,11 +122,12 @@ TEST(Dragonfly, OneGlobalLinkPerGroupPair) {
   }
   for (int x = 0; x < groups; ++x)
     for (int y = 0; y < groups; ++y)
-      if (x != y)
+      if (x != y) {
         EXPECT_EQ(pair_links[static_cast<std::size_t>(x * groups + y)] +
                       pair_links[static_cast<std::size_t>(y * groups + x)],
                   1)
             << "groups " << x << "," << y;
+      }
 }
 
 /// Mean greedy-escape route length over graph distance; -1 on walk failure.

@@ -166,7 +166,7 @@ TEST(Escape, LivenessAllPairsFaultFree) {
   const int bound = 2 * 3; // level sums bound udist
   for (SwitchId a = 0; a < t.hx->num_switches(); ++a)
     for (SwitchId b = 0; b < t.hx->num_switches(); ++b)
-      if (a != b) EXPECT_GE(escape_walk(t, a, b, bound + 1), 0);
+      if (a != b) { EXPECT_GE(escape_walk(t, a, b, bound + 1), 0); }
 }
 
 TEST(Escape, WalkLengthBoundedByUpDownDistance) {
@@ -203,9 +203,10 @@ TEST_P(EscapeLivenessSweep, AllPairsDeliverableUnderFaults) {
   t.rebuild(root, param.strict);
   for (SwitchId a = 0; a < t.hx->num_switches(); ++a)
     for (SwitchId b = 0; b < t.hx->num_switches(); ++b)
-      if (a != b)
+      if (a != b) {
         EXPECT_GE(escape_walk(t, a, b, 2 * t.hx->num_switches()), 0)
             << "pair " << a << "->" << b << " seed " << param.seed;
+      }
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -220,7 +221,9 @@ TEST(Escape, WorksOnGenericTopologies) {
   // verify liveness on a random regular graph and a torus.
   Rng rng(13);
   Graph g = make_random_regular(24, 4, rng);
-  EscapeUpDown esc(g, {.root = 5});
+  EscapeUpDown::Config cfg;
+  cfg.root = 5;
+  EscapeUpDown esc(g, cfg);
   std::vector<EscapeCand> cand;
   for (SwitchId a = 0; a < g.num_switches(); ++a) {
     for (SwitchId b = 0; b < g.num_switches(); ++b) {
@@ -260,7 +263,8 @@ TEST(Escape, StarFaultRootNearlyDisconnected) {
 
 TEST(Escape, RequiresConnectedGraph) {
   Graph g = make_from_edges(4, {{0, 1}, {2, 3}});
-  EXPECT_DEATH(EscapeUpDown(g, {.root = 0}), "connected");
+  EscapeUpDown::Config cfg;
+  EXPECT_DEATH(EscapeUpDown(g, cfg), "connected");
 }
 
 } // namespace

@@ -35,7 +35,7 @@ TEST(HyperX, PortTowardsReachesExpectedNeighbor) {
         const SwitchId n = hx.graph().port(s, p).neighbor;
         EXPECT_EQ(hx.coord(n, dim), a);
         for (int other = 0; other < 2; ++other)
-          if (other != dim) EXPECT_EQ(hx.coord(n, other), hx.coord(s, other));
+          if (other != dim) { EXPECT_EQ(hx.coord(n, other), hx.coord(s, other)); }
         EXPECT_EQ(hx.port_dim(s, p), dim);
       }
     }

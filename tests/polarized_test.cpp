@@ -42,8 +42,8 @@ void verify_candidate_against_table1(const TestNet& t, const Packet& p,
       EXPECT_EQ(pc.penalty, pen.dmu0);
       const bool first_half =
           t.dist->at(c, p.src_switch) < t.dist->at(c, p.dst_switch);
-      if (ds == 1) EXPECT_TRUE(first_half);
-      if (ds == -1) EXPECT_FALSE(first_half);
+      if (ds == 1) { EXPECT_TRUE(first_half); }
+      if (ds == -1) { EXPECT_FALSE(first_half); }
       break;
     }
     default:
@@ -214,7 +214,7 @@ TEST(Polarized, WorksOnGenericGraphs) {
   t.ctx.packet_length = 16;
   for (SwitchId a = 0; a < t.hx->num_switches(); ++a)
     for (SwitchId b = 0; b < t.hx->num_switches(); ++b)
-      if (a != b) EXPECT_GE(polarized_walk(t, a, b, 8), 0);
+      if (a != b) { EXPECT_GE(polarized_walk(t, a, b, 8), 0); }
 }
 
 } // namespace

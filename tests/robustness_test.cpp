@@ -34,7 +34,7 @@ TEST(Robustness, MixedSideOmniDelivery) {
   Experiment e(s);
   for (SwitchId a = 0; a < e.hyperx().num_switches(); ++a)
     for (SwitchId b = 0; b < e.hyperx().num_switches(); ++b)
-      if (a != b) EXPECT_GE(e.walk_route(a, b, 60), 0);
+      if (a != b) { EXPECT_GE(e.walk_route(a, b, 60), 0); }
 }
 
 TEST(Robustness, EveryEscapeRootDelivers) {
@@ -49,8 +49,9 @@ TEST(Robustness, EveryEscapeRootDelivers) {
     Experiment e(s);
     for (SwitchId a = 0; a < 9; ++a)
       for (SwitchId b = 0; b < 9; ++b)
-        if (a != b)
+        if (a != b) {
           EXPECT_GE(e.walk_route(a, b, 40), 0) << "root " << root;
+        }
   }
 }
 

@@ -128,13 +128,13 @@ TEST(SurePath, RungPolicyFollowsHopCount) {
   mech->candidates(t.ctx, p, t.hx->switch_at({2, 0}), out);
   ASSERT_FALSE(out.empty());
   for (const auto& c : out)
-    if (!c.escape) EXPECT_EQ(c.vc, 1);
+    if (!c.escape) { EXPECT_EQ(c.vc, 1); }
   // Rung saturates at the top CRout VC.
   p.hops = 9;
   out.clear();
   mech->candidates(t.ctx, p, t.hx->switch_at({2, 0}), out);
   for (const auto& c : out)
-    if (!c.escape) EXPECT_EQ(c.vc, 2);
+    if (!c.escape) { EXPECT_EQ(c.vc, 2); }
 }
 
 TEST(SurePath, AutoPolicyResolvesByLadderDepth) {
@@ -166,7 +166,7 @@ TEST(SurePath, MonotonePolicyRespectsCurrentVc) {
   mech.candidates(t.ctx, p, p.src_switch, out);
   ASSERT_FALSE(out.empty());
   for (const auto& c : out)
-    if (!c.escape) EXPECT_GE(c.vc, 1);
+    if (!c.escape) { EXPECT_GE(c.vc, 1); }
 }
 
 TEST(SurePath, ForcedHopWhenBaseRoutingDead) {
@@ -253,9 +253,10 @@ TEST_P(SurePathFaultSweep, AllPairsDeliverableUnderFaults) {
   const int bound = 4 * t.hx->num_switches();
   for (SwitchId a = 0; a < t.hx->num_switches(); ++a)
     for (SwitchId b = 0; b < t.hx->num_switches(); ++b)
-      if (a != b)
+      if (a != b) {
         EXPECT_GE(surepath_walk(t, *mech, a, b, bound), 0)
             << param.base << " " << a << "->" << b;
+      }
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -273,7 +274,7 @@ TEST(SurePath, WalkSurvivesRowFaultWithRootInside) {
   auto mech = polsp();
   for (SwitchId a = 0; a < t.hx->num_switches(); ++a)
     for (SwitchId b = 0; b < t.hx->num_switches(); ++b)
-      if (a != b) EXPECT_GE(surepath_walk(t, *mech, a, b, 64), 0);
+      if (a != b) { EXPECT_GE(surepath_walk(t, *mech, a, b, 64), 0); }
 }
 
 TEST(SurePath, RequiresEscapeInContext) {
