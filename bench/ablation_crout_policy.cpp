@@ -5,81 +5,61 @@
 /// exploratory routes need the hop-ladder rung to avoid cyclic buffer
 /// waits that drain only at escape speed (see DESIGN.md).
 ///
-/// Usage: ablation_crout_policy [--paper] [--csv=file] [--seed=N]
+/// Every (base, policy) combination is an ordinary spec mechanism thanks
+/// to the factory's "@policy" suffix ("omnisp@rung", "polsp@free", ...),
+/// so the grid fans across a ParallelSweep pool (--jobs=N); output is
+/// bit-identical at any worker count.
+///
+/// Usage: ablation_crout_policy [--paper] [--csv[=file]] [--json[=file]]
+///                              [--seed=N] [--jobs=N]
 
 #include "bench_util.hpp"
-#include "core/surepath.hpp"
-#include "routing/omnidimensional.hpp"
-#include "routing/polarized.hpp"
 
 using namespace hxsp;
-
-namespace {
-
-std::unique_ptr<RouteAlgorithm> make_base(const std::string& base) {
-  if (base == "omni") return std::make_unique<OmnidimensionalAlgorithm>();
-  return std::make_unique<PolarizedAlgorithm>();
-}
-
-const char* policy_name(CRoutVcPolicy p) {
-  switch (p) {
-    case CRoutVcPolicy::Free: return "free";
-    case CRoutVcPolicy::Monotone: return "monotone";
-    case CRoutVcPolicy::Rung: return "rung";
-    case CRoutVcPolicy::Auto: return "auto";
-  }
-  return "?";
-}
-
-} // namespace
 
 int main(int argc, char** argv) {
   const Options opt(argc, argv);
   const bool paper = opt.get_bool("paper", false);
-  ExperimentSpec spec = spec_from_options(opt, 2);
-  bench::quick_cycles(opt, paper, spec);
+  ExperimentSpec base = spec_from_options(opt, 2);
+  bench::quick_cycles(opt, paper, base);
+  const int jobs = bench::common_options(opt);
+  opt.warn_unknown();
 
   bench::banner("Ablation — SurePath CRout VC policy x base routing "
                 "(saturation, uniform)",
-                spec);
+                base);
 
-  const int sps = spec.servers_per_switch < 0 ? spec.sides[0]
-                                              : spec.servers_per_switch;
-  Table t({"base", "policy", "accepted", "generated", "escape_frac"});
-  for (const auto& base : {std::string("omni"), std::string("pol")}) {
-    for (CRoutVcPolicy policy :
-         {CRoutVcPolicy::Free, CRoutVcPolicy::Monotone, CRoutVcPolicy::Rung}) {
-      HyperX hx(spec.sides, sps);
-      DistanceTable dist(hx.graph());
-      EscapeUpDown esc(hx.graph(), {.root = spec.escape_root,
-                                    .strict_phase = spec.escape_strict_phase,
-                                    .penalties = spec.escape_penalties,
-                                    .use_shortcuts = spec.escape_shortcuts});
-      SurePathMechanism mech(make_base(base), "SP", policy);
-      NetworkContext ctx{&hx.graph(), &hx, &dist, &esc, spec.sim.num_vcs,
-                         spec.sim.packet_length};
-      Rng seed(spec.seed);
-      auto traffic = make_traffic("uniform", hx, seed);
-      Network net(ctx, mech, *traffic, spec.sim, sps, spec.seed * 77 + 1);
-      net.set_offered_load(1.0);
-      net.run_cycles(spec.warmup);
-      net.begin_window();
-      net.run_cycles(spec.measure);
-      net.end_window();
-      std::printf("base=%-5s policy=%-9s acc=%.3f gen=%.3f esc=%.3f\n",
-                  base.c_str(), policy_name(policy),
-                  net.metrics().accepted_load(), net.metrics().generated_load(),
-                  net.metrics().escape_hop_fraction());
-      t.row().cell(base).cell(policy_name(policy))
-          .cell(net.metrics().accepted_load(), 4)
-          .cell(net.metrics().generated_load(), 4)
-          .cell(net.metrics().escape_hop_fraction(), 4);
-      std::fflush(stdout);
+  struct Cell {
+    const char* base;
+    const char* policy;
+  };
+  std::vector<SweepPoint> points;
+  std::vector<Cell> cells;
+  for (const Cell proto : {Cell{"omnisp", nullptr}, Cell{"polsp", nullptr}}) {
+    for (const char* policy : {"free", "monotone", "rung"}) {
+      ExperimentSpec s = base;
+      s.mechanism = std::string(proto.base) + "@" + policy;
+      s.pattern = "uniform";
+      points.push_back({s, 1.0});
+      cells.push_back({proto.base, policy});
     }
   }
+
+  Table t({"base", "policy", "accepted", "generated", "escape_frac"});
+  ResultSink sink("ablation_crout_policy");
+  ParallelSweep sweep(jobs);
+  sweep.run(points, [&](std::size_t i, const ResultRow& r) {
+    const Cell& c = cells[i];
+    std::printf("base=%-7s policy=%-9s acc=%.3f gen=%.3f esc=%.3f\n", c.base,
+                c.policy, r.accepted, r.generated, r.escape_frac);
+    t.row().cell(c.base).cell(c.policy).cell(r.accepted, 4)
+        .cell(r.generated, 4).cell(r.escape_frac, 4);
+    sink.add_row(r, points[i].spec.seed, c.policy,
+                 std::string("policy=") + c.policy);
+    std::fflush(stdout);
+  });
   std::printf("\nShipped defaults: OmniSP = free, PolSP = rung (the best cell\n"
               "of each row).\n");
-  bench::maybe_csv(opt, t, "ablation_crout_policy.csv");
-  opt.warn_unknown();
+  bench::persist(opt, sink, "ablation_crout_policy");
   return 0;
 }

@@ -6,7 +6,11 @@
 /// penalty vector (112/96/80/64/48) by several factors and measures
 /// saturation throughput, fault-free and under a Cross fault.
 ///
-/// Usage: ablation_penalties [--paper] [--csv=file] [--seed=N]
+/// The (scale, mechanism, scenario) grid is fanned across a ParallelSweep
+/// pool (--jobs=N); output is bit-identical at any worker count.
+///
+/// Usage: ablation_penalties [--paper] [--csv[=file]] [--json[=file]]
+///                           [--seed=N] [--jobs=N]
 
 #include "bench_util.hpp"
 #include "topology/faults.hpp"
@@ -18,6 +22,8 @@ int main(int argc, char** argv) {
   const bool paper = opt.get_bool("paper", false);
   ExperimentSpec base = spec_from_options(opt, 2);
   bench::quick_cycles(opt, paper, base);
+  const int jobs = bench::common_options(opt);
+  opt.warn_unknown();
 
   const int side = base.sides[0];
   HyperX scratch(base.sides,
@@ -29,7 +35,12 @@ int main(int argc, char** argv) {
                 "similar performance')",
                 base);
 
-  Table t({"scale", "mechanism", "scenario", "accepted", "escape_frac"});
+  struct Cell {
+    double scale;
+    bool faulty;
+  };
+  std::vector<SweepPoint> points;
+  std::vector<Cell> cells;
   for (double scale : {0.25, 0.5, 1.0, 2.0, 4.0}) {
     EscapePenalties pen;
     pen.up = static_cast<int>(112 * scale);
@@ -47,18 +58,26 @@ int main(int argc, char** argv) {
           s.fault_links = cross.links;
           s.escape_root = center;
         }
-        Experiment e(s);
-        const ResultRow r = e.run_load(1.0);
-        const char* scenario = faulty ? "cross-fault" : "fault-free";
-        std::printf("scale=%.2f %-8s %-11s acc=%.3f esc=%.3f\n", scale,
-                    r.mechanism.c_str(), scenario, r.accepted, r.escape_frac);
-        t.row().cell(format_double(scale, 2)).cell(r.mechanism).cell(scenario)
-            .cell(r.accepted, 4).cell(r.escape_frac, 4);
-        std::fflush(stdout);
+        points.push_back({s, 1.0});
+        cells.push_back({scale, faulty != 0});
       }
     }
   }
-  bench::maybe_csv(opt, t, "ablation_penalties.csv");
-  opt.warn_unknown();
+
+  Table t({"scale", "mechanism", "scenario", "accepted", "escape_frac"});
+  ResultSink sink("ablation_penalties");
+  ParallelSweep sweep(jobs);
+  sweep.run(points, [&](std::size_t i, const ResultRow& r) {
+    const Cell& c = cells[i];
+    const char* scenario = c.faulty ? "cross-fault" : "fault-free";
+    std::printf("scale=%.2f %-8s %-11s acc=%.3f esc=%.3f\n", c.scale,
+                r.mechanism.c_str(), scenario, r.accepted, r.escape_frac);
+    t.row().cell(format_double(c.scale, 2)).cell(r.mechanism).cell(scenario)
+        .cell(r.accepted, 4).cell(r.escape_frac, 4);
+    sink.add_row(r, points[i].spec.seed, scenario,
+                 "scale=" + format_double(c.scale, 2));
+    std::fflush(stdout);
+  });
+  bench::persist(opt, sink, "ablation_penalties");
   return 0;
 }

@@ -5,7 +5,11 @@
 /// faulted Star center (the paper's stress setup), adjacent to it, and in
 /// the opposite corner of the network.
 ///
-/// Usage: ablation_root [--paper] [--csv=file] [--seed=N]
+/// The (root, mechanism, pattern) grid is fanned across a ParallelSweep
+/// pool (--jobs=N); output is bit-identical at any worker count.
+///
+/// Usage: ablation_root [--paper] [--csv[=file]] [--json[=file]]
+///                      [--seed=N] [--jobs=N]
 
 #include "bench_util.hpp"
 #include "topology/faults.hpp"
@@ -18,6 +22,8 @@ int main(int argc, char** argv) {
   ExperimentSpec base = spec_from_options(opt, 3);
   bench::quick_cycles(opt, paper, base);
   base.sim.num_vcs = static_cast<int>(opt.get_int("vcs", 4));
+  const int jobs = bench::common_options(opt);
+  opt.warn_unknown();
 
   const int side = base.sides[0];
   HyperX scratch(base.sides,
@@ -39,29 +45,43 @@ int main(int argc, char** argv) {
 
   bench::banner("Ablation — escape root placement under Star faults", base);
 
-  Table t({"root", "mechanism", "pattern", "accepted", "escape_frac"});
-  for (const auto& rc : roots) {
+  struct Cell {
+    std::size_t root;
+    std::string pattern;
+  };
+  std::vector<SweepPoint> points;
+  std::vector<Cell> cells;
+  for (std::size_t ri = 0; ri < roots.size(); ++ri) {
     for (const auto& mech : bench::surepath_mechanisms()) {
       for (const auto& pattern : {std::string("uniform"), std::string("rpn")}) {
         ExperimentSpec s = base;
         s.mechanism = mech;
         s.pattern = pattern;
         s.fault_links = star.links;
-        s.escape_root = rc.root;
-        Experiment e(s);
-        const ResultRow r = e.run_load(1.0);
-        std::printf("root=%-12s %-8s %-8s acc=%.3f esc=%.3f\n", rc.name,
-                    r.mechanism.c_str(), pattern.c_str(), r.accepted,
-                    r.escape_frac);
-        t.row().cell(rc.name).cell(r.mechanism).cell(pattern)
-            .cell(r.accepted, 4).cell(r.escape_frac, 4);
-        std::fflush(stdout);
+        s.escape_root = roots[ri].root;
+        points.push_back({s, 1.0});
+        cells.push_back({ri, pattern});
       }
     }
   }
+
+  Table t({"root", "mechanism", "pattern", "accepted", "escape_frac"});
+  ResultSink sink("ablation_root");
+  ParallelSweep sweep(jobs);
+  sweep.run(points, [&](std::size_t i, const ResultRow& r) {
+    const Cell& c = cells[i];
+    const RootChoice& rc = roots[c.root];
+    std::printf("root=%-12s %-8s %-8s acc=%.3f esc=%.3f\n", rc.name,
+                r.mechanism.c_str(), c.pattern.c_str(), r.accepted,
+                r.escape_frac);
+    t.row().cell(rc.name).cell(r.mechanism).cell(c.pattern)
+        .cell(r.accepted, 4).cell(r.escape_frac, 4);
+    sink.add_row(r, points[i].spec.seed, rc.name,
+                 "root_switch=" + std::to_string(rc.root));
+    std::fflush(stdout);
+  });
   std::printf("\nExpectation: moving the root away from the heavily faulted\n"
               "switch recovers throughput (paper §6, last paragraph).\n");
-  bench::maybe_csv(opt, t, "ablation_root.csv");
-  opt.warn_unknown();
+  bench::persist(opt, sink, "ablation_root");
   return 0;
 }

@@ -5,7 +5,12 @@
 /// horizontal shortcuts is what lets the escape carry real load (one of
 /// the paper's original contributions). This bench compares both escapes.
 ///
-/// Usage: ablation_shortcuts [--paper] [--csv=file] [--seed=N]
+/// The (shortcuts, mechanism, scenario) grid is fanned across a
+/// ParallelSweep pool (--jobs=N); output is bit-identical at any worker
+/// count.
+///
+/// Usage: ablation_shortcuts [--paper] [--csv[=file]] [--json[=file]]
+///                           [--seed=N] [--jobs=N]
 
 #include "bench_util.hpp"
 #include "topology/faults.hpp"
@@ -18,6 +23,8 @@ int main(int argc, char** argv) {
   ExperimentSpec base = spec_from_options(opt, 2);
   bench::quick_cycles(opt, paper, base);
   base.sim.num_vcs = static_cast<int>(opt.get_int("vcs", 4));
+  const int jobs = bench::common_options(opt);
+  opt.warn_unknown();
 
   const int side = base.sides[0];
   HyperX scratch(base.sides,
@@ -28,8 +35,12 @@ int main(int argc, char** argv) {
   bench::banner("Ablation — escape with vs without opportunistic shortcuts",
                 base);
 
-  Table t({"shortcuts", "mechanism", "scenario", "accepted", "escape_frac",
-           "forced_frac"});
+  struct Cell {
+    bool shortcuts;
+    bool faulty;
+  };
+  std::vector<SweepPoint> points;
+  std::vector<Cell> cells;
   for (bool shortcuts : {true, false}) {
     for (const auto& mech : bench::surepath_mechanisms()) {
       for (int faulty = 0; faulty <= 1; ++faulty) {
@@ -41,21 +52,30 @@ int main(int argc, char** argv) {
           s.fault_links = cross.links;
           s.escape_root = center;
         }
-        Experiment e(s);
-        const ResultRow r = e.run_load(1.0);
-        const char* scenario = faulty ? "cross-fault" : "fault-free";
-        std::printf("shortcuts=%d %-8s %-11s acc=%.3f esc=%.3f forced=%.4f\n",
-                    static_cast<int>(shortcuts), r.mechanism.c_str(), scenario,
-                    r.accepted, r.escape_frac, r.forced_frac);
-        t.row().cell(shortcuts ? "on" : "off").cell(r.mechanism).cell(scenario)
-            .cell(r.accepted, 4).cell(r.escape_frac, 4).cell(r.forced_frac, 4);
-        std::fflush(stdout);
+        points.push_back({s, 1.0});
+        cells.push_back({shortcuts, faulty != 0});
       }
     }
   }
+
+  Table t({"shortcuts", "mechanism", "scenario", "accepted", "escape_frac",
+           "forced_frac"});
+  ResultSink sink("ablation_shortcuts");
+  ParallelSweep sweep(jobs);
+  sweep.run(points, [&](std::size_t i, const ResultRow& r) {
+    const Cell& c = cells[i];
+    const char* scenario = c.faulty ? "cross-fault" : "fault-free";
+    std::printf("shortcuts=%d %-8s %-11s acc=%.3f esc=%.3f forced=%.4f\n",
+                static_cast<int>(c.shortcuts), r.mechanism.c_str(), scenario,
+                r.accepted, r.escape_frac, r.forced_frac);
+    t.row().cell(c.shortcuts ? "on" : "off").cell(r.mechanism).cell(scenario)
+        .cell(r.accepted, 4).cell(r.escape_frac, 4).cell(r.forced_frac, 4);
+    sink.add_row(r, points[i].spec.seed, scenario,
+                 std::string("shortcuts=") + (c.shortcuts ? "on" : "off"));
+    std::fflush(stdout);
+  });
   std::printf("\nExpectation: disabling shortcuts hurts most under faults,\n"
               "where the escape must carry forced traffic through the tree.\n");
-  bench::maybe_csv(opt, t, "ablation_shortcuts.csv");
-  opt.warn_unknown();
+  bench::persist(opt, sink, "ablation_shortcuts");
   return 0;
 }

@@ -8,7 +8,8 @@
 /// Runs are fanned across a ParallelSweep pool (--jobs=N, default
 /// hardware concurrency); output is bit-identical at any worker count.
 ///
-/// Usage: ablation_vcs [--paper] [--csv=file] [--seed=N] [--jobs=N]
+/// Usage: ablation_vcs [--paper] [--csv[=file]] [--json[=file]] [--seed=N]
+///                     [--jobs=N]
 
 #include "bench_util.hpp"
 
@@ -19,6 +20,8 @@ int main(int argc, char** argv) {
   const bool paper = opt.get_bool("paper", false);
   ExperimentSpec base = spec_from_options(opt, 3);
   bench::quick_cycles(opt, paper, base);
+  const int jobs = bench::common_options(opt);
+  opt.warn_unknown();
 
   bench::banner("Ablation — VC budget: SurePath works from 2 VCs; ladders "
                 "need 2n",
@@ -52,7 +55,8 @@ int main(int argc, char** argv) {
     }
   }
 
-  ParallelSweep sweep(bench::sweep_jobs(opt));
+  ResultSink sink("ablation_vcs");
+  ParallelSweep sweep(jobs);
   sweep.run(points, [&](std::size_t i, const ResultRow& r) {
     const Cell& c = cells[i];
     std::printf("vcs=%d %-10s %-8s acc=%.3f esc=%.3f\n", c.vcs,
@@ -60,11 +64,12 @@ int main(int argc, char** argv) {
                 r.escape_frac);
     t.row().cell(static_cast<long>(c.vcs)).cell(r.mechanism).cell(c.pattern)
         .cell(r.accepted, 4).cell(r.escape_frac, 4);
+    sink.add_row(r, points[i].spec.seed, "",
+                 "vcs=" + std::to_string(c.vcs));
     std::fflush(stdout);
   });
   std::printf("\nExpectation: OmniSP/PolSP at 4 VCs match or beat the 6-VC\n"
               "ladders, and remain functional even at 2 VCs.\n");
-  bench::maybe_csv(opt, t, "ablation_vcs.csv");
-  opt.warn_unknown();
+  bench::persist(opt, sink, "ablation_vcs");
   return 0;
 }

@@ -1,8 +1,14 @@
 #pragma once
 /// \file bench_util.hpp
 /// Shared plumbing for the figure/table reproduction benches: standard
-/// header banner, CSV emission, and the mechanism/pattern grids the
-/// paper's evaluation sweeps over.
+/// header banner, uniform result persistence (--csv/--json through
+/// ResultSink), and the mechanism/pattern grids the paper's evaluation
+/// sweeps over.
+///
+/// Option-handling contract every driver follows: read *all* options
+/// first (spec_from_options, driver-specific keys, then common_options),
+/// call opt.warn_unknown() before any long-running work so typo'd flags
+/// are reported up front, then print the banner and run.
 
 #include <cstdio>
 #include <string>
@@ -10,6 +16,7 @@
 
 #include "harness/presets.hpp"
 #include "harness/sweep.hpp"
+#include "metrics/resultsink.hpp"
 #include "topology/faults.hpp"
 #include "util/log.hpp"
 #include "util/table.hpp"
@@ -20,6 +27,15 @@ namespace hxsp::bench {
 /// (hardware concurrency); --jobs=1 recovers the old serial behaviour.
 inline int sweep_jobs(const Options& opt) {
   return static_cast<int>(opt.get_int("jobs", 0));
+}
+
+/// Registers the option keys every driver shares (--jobs, --csv, --json)
+/// so warn_unknown() can run before the sweep starts; returns the worker
+/// count. Call after all driver-specific option reads.
+inline int common_options(const Options& opt) {
+  opt.has("csv");
+  opt.has("json");
+  return sweep_jobs(opt);
 }
 
 /// Prints the standard bench banner: what paper artefact this reproduces,
@@ -39,16 +55,27 @@ inline void banner(const std::string& what, const ExperimentSpec& spec) {
   std::printf("==============================================================\n");
 }
 
-/// Writes \p t as CSV to \p path when --csv was passed, and says so.
-inline void maybe_csv(const Options& opt, const Table& t,
-                      const std::string& default_name) {
-  const std::string path = opt.get("csv", "");
-  if (path.empty()) return;
-  const std::string file = path == "1" || path.empty() ? default_name : path;
-  if (t.write_csv(file))
-    std::printf("(wrote %s)\n", file.c_str());
-  else
-    std::fprintf(stderr, "could not write %s\n", file.c_str());
+/// Persists \p sink when --csv / --json were passed (bare flag or =1
+/// selects <stem>.csv / <stem>.json, any other value is the file name)
+/// and says so. Every driver emits the same ResultSink schema.
+inline void persist(const Options& opt, const ResultSink& sink,
+                    const std::string& stem) {
+  struct Format {
+    const char* key;
+    const char* ext;
+    bool (ResultSink::*write)(const std::string&) const;
+  };
+  const Format formats[] = {{"csv", ".csv", &ResultSink::write_csv},
+                            {"json", ".json", &ResultSink::write_json}};
+  for (const Format& f : formats) {
+    if (!opt.has(f.key)) continue;
+    const std::string v = opt.get(f.key, "");
+    const std::string file = (v.empty() || v == "1") ? stem + f.ext : v;
+    if ((sink.*f.write)(file))
+      std::printf("(wrote %s: %zu records)\n", file.c_str(), sink.size());
+    else
+      std::fprintf(stderr, "could not write %s\n", file.c_str());
+  }
 }
 
 /// The six mechanisms of the paper's fault-free comparison (Table 4).
@@ -87,6 +114,57 @@ inline void quick_cycles(const Options& opt, bool paper, ExperimentSpec& spec) {
   spec.measure = opt.get_int("measure", 3000);
 }
 
+/// The fig04/fig05 fault-free grid: every (pattern, mechanism, load)
+/// cell as an independent simulation, fanned across \p workers threads
+/// and delivered in submission order, reproducing the serial console
+/// layout (per-pattern header, one mech row of accepted values across
+/// the load sweep) byte for byte at any worker count. Each cell is
+/// appended to \p t and \p sink.
+inline void run_load_grid(const ExperimentSpec& base,
+                          const std::vector<std::string>& patterns,
+                          const std::vector<std::string>& mechs,
+                          const std::vector<double>& loads, int workers,
+                          Table& t, ResultSink& sink) {
+  struct Cell {
+    std::size_t pattern, mech, load;
+  };
+  std::vector<SweepPoint> points;
+  std::vector<Cell> cells;
+  for (std::size_t pi = 0; pi < patterns.size(); ++pi) {
+    for (std::size_t mi = 0; mi < mechs.size(); ++mi) {
+      ExperimentSpec s = base;
+      s.mechanism = mechs[mi];
+      s.pattern = patterns[pi];
+      for (std::size_t li = 0; li < loads.size(); ++li) {
+        points.push_back({s, loads[li]});
+        cells.push_back({pi, mi, li});
+      }
+    }
+  }
+
+  ParallelSweep sweep(workers);
+  sweep.run(points, [&](std::size_t i, const ResultRow& r) {
+    const Cell& c = cells[i];
+    if (c.mech == 0 && c.load == 0) {
+      std::printf("\n--- pattern: %s ---\n", patterns[c.pattern].c_str());
+      std::printf("%-10s", "mech\\load");
+      for (double l : loads) std::printf(" %9.2f", l);
+      std::printf("\n");
+    }
+    if (c.load == 0)
+      std::printf("%-10s", mechanism_display_name(mechs[c.mech]).c_str());
+    std::printf(" %9.3f", r.accepted);
+    t.row().cell(patterns[c.pattern]).cell(r.mechanism).cell(r.offered, 2)
+        .cell(r.accepted, 4).cell(r.avg_latency, 1).cell(r.jain, 4)
+        .cell(r.escape_frac, 4);
+    sink.add_row(r, points[i].spec.seed);
+    if (c.load + 1 == loads.size()) {
+      std::printf("  (accepted)\n");
+      std::fflush(stdout);
+    }
+  });
+}
+
 /// A named fault region of the Fig 7–9 shape studies.
 struct ShapeDef {
   const char* name;
@@ -99,11 +177,13 @@ struct ShapeDef {
 /// results in submission order, so each shape row reads the healthy
 /// throughput ("top marks") delivered just before it — do not reorder the
 /// submission without also buffering the references. Prints one row per
-/// shape run (shape name padded to \p name_width) and appends it to \p t.
+/// shape run (shape name padded to \p name_width) and appends it to \p t
+/// and \p sink (healthy references get label "healthy").
 inline void run_shape_grid(const ExperimentSpec& base,
                            const std::vector<ShapeDef>& shapes,
                            const std::vector<std::string>& patterns,
-                           int workers, int name_width, Table& t) {
+                           int workers, int name_width, Table& t,
+                           ResultSink& sink) {
   struct Cell {
     int shape = -1;  ///< index into shapes; -1 = healthy reference
     std::string pattern;
@@ -133,6 +213,7 @@ inline void run_shape_grid(const ExperimentSpec& base,
     const Cell& c = cells[i];
     if (c.shape < 0) {
       healthy = r.accepted;
+      sink.add_row(r, points[i].spec.seed, "healthy", "faults=0");
       return;
     }
     const ShapeDef& shape = shapes[static_cast<std::size_t>(c.shape)];
@@ -145,6 +226,10 @@ inline void run_shape_grid(const ExperimentSpec& base,
     t.row().cell(shape.name).cell(static_cast<long>(shape.fault.links.size()))
         .cell(r.mechanism).cell(c.pattern).cell(r.accepted, 4)
         .cell(healthy, 4).cell(deg, 4).cell(r.escape_frac, 4);
+    sink.add_row(r, points[i].spec.seed, shape.name,
+                 "faults=" + std::to_string(shape.fault.links.size()) +
+                     ";healthy=" + format_double(healthy, 6) +
+                     ";degradation=" + format_double(deg, 6));
     std::fflush(stdout);
   });
 }

@@ -7,7 +7,13 @@
 /// paths on each, and (b) SurePath-over-Minimal throughput and escape
 /// usage on both.
 ///
-/// Usage: ext_dragonfly_escape [--csv=file] [--seed=N]
+/// The three per-topology studies are independent and fan across the
+/// sweep pool via ParallelSweep::map (--jobs=N); each study builds its
+/// own tables, network and RNG streams, so output is bit-identical at
+/// any worker count.
+///
+/// Usage: ext_dragonfly_escape [--csv[=file]] [--json[=file]] [--seed=N]
+///                             [--jobs=N]
 
 #include "bench_util.hpp"
 #include "core/surepath.hpp"
@@ -52,9 +58,9 @@ double escape_stretch(const Graph& g, const EscapeUpDown& esc,
 }
 
 struct StudyResult {
-  double stretch;
-  double accepted;
-  double escape_frac;
+  double stretch = 0;
+  double accepted = 0;
+  double escape_frac = 0;
 };
 
 StudyResult run_study(Graph graph, int sps, std::uint64_t seed) {
@@ -103,45 +109,57 @@ StudyResult run_study(Graph graph, int sps, std::uint64_t seed) {
 int main(int argc, char** argv) {
   const Options opt(argc, argv);
   const std::uint64_t seed = static_cast<std::uint64_t>(opt.get_int("seed", 1));
+  const int jobs = bench::common_options(opt);
+  opt.warn_unknown();
 
   std::printf("Extension — escape quality across topologies (paper §7)\n\n");
   Table t({"topology", "switches", "links", "escape_stretch", "accepted",
            "escape_frac"});
+  ResultSink sink("ext_dragonfly_escape");
 
-  {
-    HyperX hx({8, 8}, 4);
-    StudyResult r = run_study(hx.graph(), 4, seed);
-    std::printf("HyperX 8x8:     stretch=%.3f acc=%.3f esc=%.3f\n", r.stretch,
-                r.accepted, r.escape_frac);
-    t.row().cell("HyperX 8x8").cell(static_cast<long>(hx.num_switches()))
-        .cell(static_cast<long>(hx.graph().num_links())).cell(r.stretch, 3)
-        .cell(r.accepted, 4).cell(r.escape_frac, 4);
-  }
-  {
-    Graph df = make_dragonfly(4, 2); // 9 groups x 4 switches = 36 switches
-    const SwitchId n = df.num_switches();
-    StudyResult r = run_study(df, 4, seed);
-    std::printf("Dragonfly(4,2): stretch=%.3f acc=%.3f esc=%.3f\n", r.stretch,
-                r.accepted, r.escape_frac);
-    t.row().cell("Dragonfly a=4 h=2").cell(static_cast<long>(n))
-        .cell(static_cast<long>(df.num_links())).cell(r.stretch, 3)
-        .cell(r.accepted, 4).cell(r.escape_frac, 4);
-  }
-  {
-    Graph df = make_dragonfly(6, 1); // 7 groups x 6 switches = 42 switches
-    StudyResult r = run_study(df, 4, seed);
-    std::printf("Dragonfly(6,1): stretch=%.3f acc=%.3f esc=%.3f\n", r.stretch,
-                r.accepted, r.escape_frac);
-    t.row().cell("Dragonfly a=6 h=1").cell(static_cast<long>(df.num_switches()))
-        .cell(static_cast<long>(df.num_links())).cell(r.stretch, 3)
-        .cell(r.accepted, 4).cell(r.escape_frac, 4);
-  }
+  struct Study {
+    std::string name;     ///< table label
+    const char* console;  ///< console prefix, aligned
+    Graph graph;
+  };
+  const HyperX hx({8, 8}, 4);
+  std::vector<Study> studies;
+  studies.push_back({"HyperX 8x8", "HyperX 8x8:    ", hx.graph()});
+  // 9 groups x 4 switches = 36 switches / 7 groups x 6 switches = 42.
+  studies.push_back({"Dragonfly a=4 h=2", "Dragonfly(4,2):", make_dragonfly(4, 2)});
+  studies.push_back({"Dragonfly a=6 h=1", "Dragonfly(6,1):", make_dragonfly(6, 1)});
+
+  ParallelSweep sweep(jobs);
+  sweep.map<StudyResult>(
+      studies.size(),
+      [&](std::size_t i) { return run_study(studies[i].graph, 4, seed); },
+      [&](std::size_t i, const StudyResult& r) {
+        const Study& st = studies[i];
+        std::printf("%s stretch=%.3f acc=%.3f esc=%.3f\n", st.console,
+                    r.stretch, r.accepted, r.escape_frac);
+        t.row().cell(st.name).cell(static_cast<long>(st.graph.num_switches()))
+            .cell(static_cast<long>(st.graph.num_links())).cell(r.stretch, 3)
+            .cell(r.accepted, 4).cell(r.escape_frac, 4);
+        ResultRecord rec;
+        rec.kind = "rate";
+        rec.label = st.name;
+        rec.mechanism = "MinSP";
+        rec.pattern = "uniform";
+        rec.offered = 1.0;
+        rec.seed = seed;
+        rec.accepted = r.accepted;
+        rec.escape_frac = r.escape_frac;
+        rec.extra = "stretch=" + format_double(r.stretch, 6) +
+                    ";switches=" + std::to_string(st.graph.num_switches()) +
+                    ";links=" + std::to_string(st.graph.num_links());
+        sink.add(std::move(rec));
+        std::fflush(stdout);
+      });
 
   std::printf("\n%s\n", t.str().c_str());
   std::printf("Expectation: stretch near 1 on the HyperX (escape keeps most\n"
               "shortest paths), clearly above 1 on the Dragonflies — \"more\n"
               "effort to adapt to other topologies should be done\" (§7).\n");
-  bench::maybe_csv(opt, t, "ext_dragonfly_escape.csv");
-  opt.warn_unknown();
+  bench::persist(opt, sink, "ext_dragonfly_escape");
   return 0;
 }

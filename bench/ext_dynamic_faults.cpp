@@ -7,9 +7,15 @@
 /// wire are dropped, and traffic continues. It reports the throughput
 /// trace around each failure plus the steady state reached, and compares
 /// against a run with the same faults applied statically (the end states
-/// should agree — recovery converges).
+/// should agree — recovery converges; tests/sweep_tasks_test.cpp enforces
+/// this invariant).
 ///
-/// Usage: ext_dynamic_faults [--paper] [--faults=N] [--csv=file] [--seed=N]
+/// Each mechanism's dynamic run and its static reference are SweepTasks
+/// fanned across a ParallelSweep pool (--jobs=N); output is bit-identical
+/// at any worker count.
+///
+/// Usage: ext_dynamic_faults [--paper] [--faults=N] [--csv[=file]]
+///                           [--json[=file]] [--seed=N] [--jobs=N]
 
 #include "bench_util.hpp"
 #include "topology/faults.hpp"
@@ -26,6 +32,8 @@ int main(int argc, char** argv) {
   }
   base.sim.num_vcs = static_cast<int>(opt.get_int("vcs", 4));
   const int nfaults = static_cast<int>(opt.get_int("faults", 6));
+  const int jobs = bench::common_options(opt);
+  opt.warn_unknown();
 
   bench::banner("Extension — online link failures with live BFS recovery",
                 base);
@@ -36,46 +44,58 @@ int main(int argc, char** argv) {
   Rng frng(base.seed + 17);
   const auto links = random_fault_links(scratch.graph(), nfaults, frng, true);
 
-  Table t({"mechanism", "mode", "accepted", "dropped", "escape_frac"});
+  // One failure every measure/(n+1) cycles inside the window.
+  std::vector<FaultEvent> events;
+  for (int i = 0; i < nfaults; ++i)
+    events.push_back({base.warmup + (i + 1) * base.measure / (nfaults + 1),
+                      links[static_cast<std::size_t>(i)]});
+
+  // Per mechanism: the dynamic run, then its static reference (same fault
+  // set from cycle 0); submission order is the old serial print order.
+  std::vector<SweepTask> tasks;
   for (const auto& mech : bench::surepath_mechanisms()) {
-    // Dynamic: one failure every measure/(n+1) cycles inside the window.
     ExperimentSpec s = base;
     s.mechanism = mech;
     s.pattern = "uniform";
-    Experiment e(s);
-    std::vector<FaultEvent> events;
-    for (int i = 0; i < nfaults; ++i)
-      events.push_back({base.warmup + (i + 1) * base.measure / (nfaults + 1),
-                        links[static_cast<std::size_t>(i)]});
-    const DynamicResult dyn = e.run_load_dynamic(0.7, events);
-
-    std::printf("%s dynamic: accepted=%.3f dropped=%ld esc=%.3f\n",
-                dyn.row.mechanism.c_str(), dyn.row.accepted, dyn.dropped,
-                dyn.row.escape_frac);
-    std::printf("  throughput trace (phits/cycle/server per %ld-cycle bucket):\n  ",
-                static_cast<long>(dyn.series.width()));
-    for (std::size_t b = 0; b < dyn.series.num_buckets(); ++b)
-      std::printf("%.2f ", dyn.series.rate(b, dyn.num_servers));
-    std::printf("\n");
-    t.row().cell(dyn.row.mechanism).cell("dynamic").cell(dyn.row.accepted, 4)
-        .cell(dyn.dropped).cell(dyn.row.escape_frac, 4);
-
-    // Static reference: same faults from cycle 0.
+    tasks.push_back(SweepTask::dynamic_faults(s, 0.7, events));
     ExperimentSpec st = s;
     st.fault_links = links;
-    Experiment es(st);
-    const ResultRow ref = es.run_load(0.7);
-    std::printf("%s static reference: accepted=%.3f esc=%.3f\n\n",
-                ref.mechanism.c_str(), ref.accepted, ref.escape_frac);
-    t.row().cell(ref.mechanism).cell("static").cell(ref.accepted, 4).cell(0L)
-        .cell(ref.escape_frac, 4);
-    std::fflush(stdout);
+    tasks.push_back(SweepTask::rate(st, 0.7));
   }
+
+  Table t({"mechanism", "mode", "accepted", "dropped", "escape_frac"});
+  ResultSink sink("ext_dynamic_faults");
+  ParallelSweep sweep(jobs);
+  sweep.run_tasks(tasks, [&](std::size_t i, const TaskResult& result) {
+    if (const DynamicResult* dyn = std::get_if<DynamicResult>(&result)) {
+      std::printf("%s dynamic: accepted=%.3f dropped=%ld esc=%.3f\n",
+                  dyn->row.mechanism.c_str(), dyn->row.accepted, dyn->dropped,
+                  dyn->row.escape_frac);
+      std::printf("  throughput trace (phits/cycle/server per %ld-cycle bucket):\n  ",
+                  static_cast<long>(dyn->series.width()));
+      for (std::size_t b = 0; b < dyn->series.num_buckets(); ++b)
+        std::printf("%.2f ", dyn->series.rate(b, dyn->num_servers));
+      std::printf("\n");
+      t.row().cell(dyn->row.mechanism).cell("dynamic")
+          .cell(dyn->row.accepted, 4).cell(dyn->dropped)
+          .cell(dyn->row.escape_frac, 4);
+      sink.add(tasks[i], result, "dynamic",
+               "faults=" + std::to_string(nfaults));
+    } else {
+      const ResultRow& ref = std::get<ResultRow>(result);
+      std::printf("%s static reference: accepted=%.3f esc=%.3f\n\n",
+                  ref.mechanism.c_str(), ref.accepted, ref.escape_frac);
+      t.row().cell(ref.mechanism).cell("static").cell(ref.accepted, 4)
+          .cell(0L).cell(ref.escape_frac, 4);
+      sink.add(tasks[i], result, "static",
+               "faults=" + std::to_string(nfaults));
+    }
+    std::fflush(stdout);
+  });
   std::printf("Expectation: a brief dip and a handful of dropped packets per\n"
               "failure, then dynamic throughput converges to the static\n"
               "reference — \"the whole mechanism is guaranteed to work while\n"
               "there are possible paths\" (§1).\n");
-  bench::maybe_csv(opt, t, "ext_dynamic_faults.csv");
-  opt.warn_unknown();
+  bench::persist(opt, sink, "ext_dynamic_faults");
   return 0;
 }

@@ -4,14 +4,62 @@
 /// sequences (one per seed), until the network disconnects. Pure graph
 /// computation — runs at the paper's full scale by default.
 ///
+/// The per-seed sequences are independent, so they fan across the sweep
+/// pool via ParallelSweep::map (--jobs=N); each seed's walk is
+/// self-contained (own Graph copy and Rng), so output is bit-identical
+/// at any worker count.
+///
 /// Usage: fig01_diameter_faults [--side=8] [--dims=3] [--seeds=5]
-///                              [--step=10] [--csv=file]
+///                              [--step=10] [--jobs=N] [--csv[=file]]
+///                              [--json[=file]]
 
 #include "bench_util.hpp"
 #include "topology/distance.hpp"
 #include "topology/faults.hpp"
 
 using namespace hxsp;
+
+namespace {
+
+/// One diameter transition of a fault sequence (recorded like the figure:
+/// the first fault count at which each new diameter was observed).
+struct Transition {
+  int faults = 0;
+  double fault_frac = 0;
+  int diameter = 0;
+};
+
+/// Everything one seed's walk produces.
+struct SeedTrace {
+  std::vector<Transition> transitions;
+  int disconnected_at = -1;  ///< fault count of the first sampled
+                             ///< disconnection; -1 if never reached
+};
+
+SeedTrace walk_seed(const HyperX& hx, int seed, int step) {
+  SeedTrace trace;
+  Graph g = hx.graph();
+  Rng rng(static_cast<std::uint64_t>(seed));
+  const auto seq = random_fault_sequence(g, rng);
+  int last_diam = -1;
+  for (int f = 0; f <= g.num_links(); f += step) {
+    for (int i = f - step; i < f; ++i)
+      if (i >= 0) g.fail_link(seq[static_cast<std::size_t>(i)]);
+    if (!g.connected()) {
+      trace.disconnected_at = f;
+      break;
+    }
+    const int diam = DistanceTable(g).diameter();
+    if (diam != last_diam) { // record only transitions, like the figure
+      trace.transitions.push_back(
+          {f, static_cast<double>(f) / g.num_links(), diam});
+      last_diam = diam;
+    }
+  }
+  return trace;
+}
+
+} // namespace
 
 int main(int argc, char** argv) {
   const Options opt(argc, argv);
@@ -22,6 +70,8 @@ int main(int argc, char** argv) {
   // (--seeds / --step restore any resolution).
   const int seeds = static_cast<int>(opt.get_int("seeds", 3));
   const int step = static_cast<int>(opt.get_int("step", 20));
+  const int jobs = bench::common_options(opt);
+  opt.warn_unknown();
 
   const HyperX hx = HyperX::regular(dims, side, 1);
   std::printf("Figure 1 — Diameter vs random link failures (%s, %d links)\n",
@@ -30,32 +80,34 @@ int main(int argc, char** argv) {
               "links to diameter 5, ~75%% to disconnection.\n\n");
 
   Table t({"seed", "faults", "fault_frac", "diameter"});
-  for (int seed = 1; seed <= seeds; ++seed) {
-    Graph g = hx.graph();
-    Rng rng(static_cast<std::uint64_t>(seed));
-    const auto seq = random_fault_sequence(g, rng);
-    int last_diam = -1;
-    for (int f = 0; f <= g.num_links(); f += step) {
-      for (int i = f - step; i < f; ++i)
-        if (i >= 0) g.fail_link(seq[static_cast<std::size_t>(i)]);
-      if (!g.connected()) {
-        std::printf("seed %d: disconnected at <= %d faults (%.1f%% of links)\n",
-                    seed, f, 100.0 * f / g.num_links());
-        break;
-      }
-      const int diam = DistanceTable(g).diameter();
-      if (diam != last_diam) { // record only transitions, like the figure
-        t.row().cell(static_cast<long>(seed)).cell(static_cast<long>(f))
-            .cell(static_cast<double>(f) / g.num_links(), 4)
-            .cell(static_cast<long>(diam));
-        last_diam = diam;
-      }
-    }
-  }
+  ResultSink sink("fig01_diameter_faults");
+  ParallelSweep sweep(jobs);
+  sweep.map<SeedTrace>(
+      static_cast<std::size_t>(seeds),
+      [&](std::size_t i) {
+        return walk_seed(hx, static_cast<int>(i) + 1, step);
+      },
+      [&](std::size_t i, const SeedTrace& trace) {
+        const int seed = static_cast<int>(i) + 1;
+        for (const Transition& tr : trace.transitions) {
+          t.row().cell(static_cast<long>(seed))
+              .cell(static_cast<long>(tr.faults)).cell(tr.fault_frac, 4)
+              .cell(static_cast<long>(tr.diameter));
+          ResultRecord rec;
+          rec.kind = "graph";
+          rec.seed = static_cast<std::uint64_t>(seed);
+          rec.extra = "faults=" + std::to_string(tr.faults) +
+                      ";diameter=" + std::to_string(tr.diameter);
+          sink.add(std::move(rec));
+        }
+        if (trace.disconnected_at >= 0)
+          std::printf("seed %d: disconnected at <= %d faults (%.1f%% of links)\n",
+                      seed, trace.disconnected_at,
+                      100.0 * trace.disconnected_at / hx.graph().num_links());
+      });
   std::printf("\nDiameter transitions (first fault count at which each new\n"
               "diameter was observed, sampled every %d faults):\n\n%s\n",
               step, t.str().c_str());
-  bench::maybe_csv(opt, t, "fig01_diameter_faults.csv");
-  opt.warn_unknown();
+  bench::persist(opt, sink, "fig01_diameter_faults");
   return 0;
 }

@@ -5,10 +5,14 @@
 /// Random Server Permutation and Dimension Complement Reverse traffic.
 ///
 /// Default: reduced scale (8x8, shortened cycles). --paper: 16x16 with the
-/// paper's measurement windows.
+/// paper's measurement windows. The (pattern, mechanism, load) grid is
+/// fanned across a ParallelSweep pool (--jobs=N); results are delivered
+/// in submission order, so the printed grid is bit-identical at any
+/// worker count.
 ///
 /// Usage: fig04_2d_faultfree [--paper] [--loads=..] [--mechs=..]
-///                           [--patterns=..] [--csv=file] [--seed=N]
+///                           [--patterns=..] [--csv[=file]] [--json[=file]]
+///                           [--seed=N] [--jobs=N]
 
 #include "bench_util.hpp"
 
@@ -19,10 +23,11 @@ int main(int argc, char** argv) {
   const bool paper = opt.get_bool("paper", false);
   ExperimentSpec base = spec_from_options(opt, 2);
   bench::quick_cycles(opt, paper, base);
-
   const auto mechs = opt.get_list("mechs", bench::paper_mechanisms());
   const auto patterns = opt.get_list("patterns", bench::patterns_2d());
   const auto loads = bench::load_sweep(opt, paper);
+  const int jobs = bench::common_options(opt);
+  opt.warn_unknown();
 
   bench::banner("Figure 4 — 2D HyperX, fault-free: throughput / latency / "
                 "Jain vs offered load",
@@ -30,35 +35,14 @@ int main(int argc, char** argv) {
 
   Table t({"pattern", "mechanism", "offered", "accepted", "avg_latency",
            "jain", "escape_frac"});
-  for (const auto& pattern : patterns) {
-    std::printf("\n--- pattern: %s ---\n", pattern.c_str());
-    std::printf("%-10s", "mech\\load");
-    for (double l : loads) std::printf(" %9.2f", l);
-    std::printf("\n");
-    for (const auto& mech : mechs) {
-      ExperimentSpec s = base;
-      s.mechanism = mech;
-      s.pattern = pattern;
-      Experiment e(s);
-      std::printf("%-10s", mechanism_display_name(mech).c_str());
-      for (double load : loads) {
-        const ResultRow r = e.run_load(load);
-        std::printf(" %9.3f", r.accepted);
-        t.row().cell(pattern).cell(r.mechanism).cell(r.offered, 2)
-            .cell(r.accepted, 4).cell(r.avg_latency, 1).cell(r.jain, 4)
-            .cell(r.escape_frac, 4);
-      }
-      std::printf("  (accepted)\n");
-      std::fflush(stdout);
-    }
-  }
+  ResultSink sink("fig04_2d_faultfree");
+  bench::run_load_grid(base, patterns, mechs, loads, jobs, t, sink);
   std::printf("\nFull rows (accepted / latency / jain):\n\n%s\n", t.str().c_str());
   std::printf("Paper shape check: all mechanisms except Valiant reach high\n"
               "throughput on Uniform; Valiant sits near 0.5; Minimal\n"
               "collapses on DCR while Valiant achieves its optimal 0.5 and\n"
               "the adaptive mechanisms match it; OmniSP/PolSP track their\n"
               "ladder counterparts.\n");
-  bench::maybe_csv(opt, t, "fig04_2d_faultfree.csv");
-  opt.warn_unknown();
+  bench::persist(opt, sink, "fig04_2d_faultfree");
   return 0;
 }

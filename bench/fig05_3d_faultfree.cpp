@@ -5,10 +5,13 @@
 /// Neighbour pattern (which separates Omnidimensional from Polarized
 /// routes: aligned routes are bisection-bounded at 0.5).
 ///
-/// Default: reduced scale (4x4x4). --paper: 8x8x8.
+/// Default: reduced scale (4x4x4). --paper: 8x8x8. The grid is fanned
+/// across a ParallelSweep pool (--jobs=N); delivery in submission order
+/// keeps the printed grid bit-identical at any worker count.
 ///
 /// Usage: fig05_3d_faultfree [--paper] [--loads=..] [--mechs=..]
-///                           [--patterns=..] [--csv=file] [--seed=N]
+///                           [--patterns=..] [--csv[=file]] [--json[=file]]
+///                           [--seed=N] [--jobs=N]
 
 #include "bench_util.hpp"
 
@@ -19,10 +22,11 @@ int main(int argc, char** argv) {
   const bool paper = opt.get_bool("paper", false);
   ExperimentSpec base = spec_from_options(opt, 3);
   bench::quick_cycles(opt, paper, base);
-
   const auto mechs = opt.get_list("mechs", bench::paper_mechanisms());
   const auto patterns = opt.get_list("patterns", bench::patterns_3d());
   const auto loads = bench::load_sweep(opt, paper);
+  const int jobs = bench::common_options(opt);
+  opt.warn_unknown();
 
   bench::banner("Figure 5 — 3D HyperX, fault-free: throughput / latency / "
                 "Jain vs offered load",
@@ -30,34 +34,13 @@ int main(int argc, char** argv) {
 
   Table t({"pattern", "mechanism", "offered", "accepted", "avg_latency",
            "jain", "escape_frac"});
-  for (const auto& pattern : patterns) {
-    std::printf("\n--- pattern: %s ---\n", pattern.c_str());
-    std::printf("%-10s", "mech\\load");
-    for (double l : loads) std::printf(" %9.2f", l);
-    std::printf("\n");
-    for (const auto& mech : mechs) {
-      ExperimentSpec s = base;
-      s.mechanism = mech;
-      s.pattern = pattern;
-      Experiment e(s);
-      std::printf("%-10s", mechanism_display_name(mech).c_str());
-      for (double load : loads) {
-        const ResultRow r = e.run_load(load);
-        std::printf(" %9.3f", r.accepted);
-        t.row().cell(pattern).cell(r.mechanism).cell(r.offered, 2)
-            .cell(r.accepted, 4).cell(r.avg_latency, 1).cell(r.jain, 4)
-            .cell(r.escape_frac, 4);
-      }
-      std::printf("  (accepted)\n");
-      std::fflush(stdout);
-    }
-  }
+  ResultSink sink("fig05_3d_faultfree");
+  bench::run_load_grid(base, patterns, mechs, loads, jobs, t, sink);
   std::printf("\nFull rows:\n\n%s\n", t.str().c_str());
   std::printf("Paper shape check: on RPN, Minimal is worst, OmniWAR/OmniSP\n"
               "are capped near 0.5 (aligned routes cannot beat the bisection\n"
               "bound) while Polarized/PolSP exceed it via 3-hop unaligned\n"
               "routes.\n");
-  bench::maybe_csv(opt, t, "fig05_3d_faultfree.csv");
-  opt.warn_unknown();
+  bench::persist(opt, sink, "fig05_3d_faultfree");
   return 0;
 }

@@ -16,7 +16,7 @@
 ///
 /// Usage: fig06_random_faults [--paper] [--dims=2|3|0 (both)]
 ///                            [--max-faults=N] [--steps=N] [--seed=N]
-///                            [--jobs=N] [--csv=file]
+///                            [--jobs=N] [--csv[=file]] [--json[=file]]
 
 #include "bench_util.hpp"
 #include "topology/faults.hpp"
@@ -25,12 +25,8 @@ using namespace hxsp;
 
 namespace {
 
-void run_dim(const Options& opt, int dims, bool paper, Table& t,
-             ParallelSweep& sweep) {
-  ExperimentSpec base = spec_from_options(opt, dims);
-  bench::quick_cycles(opt, paper, base);
-  base.sim.num_vcs = static_cast<int>(opt.get_int("vcs", 4)); // paper §6: 4 VCs
-
+void run_dim(int dims, ExperimentSpec base, bool paper, long max_faults_opt,
+             int steps, Table& t, ResultSink& sink, ParallelSweep& sweep) {
   // Build the shared fault sequence on a scratch topology.
   HyperX scratch(base.sides, base.servers_per_switch < 0 ? base.sides[0]
                                                          : base.servers_per_switch);
@@ -39,10 +35,11 @@ void run_dim(const Options& opt, int dims, bool paper, Table& t,
 
   // Paper: 0..100 faults step 10 (2.6% of 2D links, 1.9% of 3D links).
   // Reduced: same fraction of this topology's links, 10 steps.
-  int max_faults = static_cast<int>(opt.get_int(
-      "max-faults",
-      paper ? 100 : std::max(10, scratch.graph().num_links() * 100 / 3840)));
-  const int steps = static_cast<int>(opt.get_int("steps", 10));
+  const int max_faults = static_cast<int>(
+      max_faults_opt >= 0
+          ? max_faults_opt
+          : (paper ? 100
+                   : std::max(10, scratch.graph().num_links() * 100 / 3840)));
 
   const auto patterns = dims == 3 ? bench::patterns_3d() : bench::patterns_2d();
   std::printf("\n=== %dD HyperX (%d links, faults 0..%d) ===\n", dims,
@@ -82,6 +79,9 @@ void run_dim(const Options& opt, int dims, bool paper, Table& t,
     t.row().cell(static_cast<long>(dims)).cell(static_cast<long>(c.faults))
         .cell(r.mechanism).cell(c.pattern).cell(r.accepted, 4)
         .cell(r.escape_frac, 4).cell(r.forced_frac, 4);
+    sink.add_row(r, points[i].spec.seed, "",
+                 "dims=" + std::to_string(dims) +
+                     ";faults=" + std::to_string(c.faults));
     std::fflush(stdout);
   });
 }
@@ -92,6 +92,16 @@ int main(int argc, char** argv) {
   const Options opt(argc, argv);
   const bool paper = opt.get_bool("paper", false);
   const int dims = static_cast<int>(opt.get_int("dims", 0));
+  const long max_faults_opt = opt.get_int("max-faults", -1);
+  const int steps = static_cast<int>(opt.get_int("steps", 10));
+  const int vcs = static_cast<int>(opt.get_int("vcs", 4)); // paper §6: 4 VCs
+  ExperimentSpec base2 = spec_from_options(opt, 2);
+  ExperimentSpec base3 = spec_from_options(opt, 3);
+  bench::quick_cycles(opt, paper, base2);
+  bench::quick_cycles(opt, paper, base3);
+  base2.sim.num_vcs = base3.sim.num_vcs = vcs;
+  const int jobs = bench::common_options(opt);
+  opt.warn_unknown();
 
   std::printf("Figure 6 — Throughput for successive random failures "
               "(OmniSP/PolSP, offered load 1.0)\n");
@@ -100,10 +110,12 @@ int main(int argc, char** argv) {
 
   Table t({"dims", "faults", "mechanism", "pattern", "accepted", "escape_frac",
            "forced_frac"});
-  ParallelSweep sweep(bench::sweep_jobs(opt));
-  if (dims == 0 || dims == 2) run_dim(opt, 2, paper, t, sweep);
-  if (dims == 0 || dims == 3) run_dim(opt, 3, paper, t, sweep);
-  bench::maybe_csv(opt, t, "fig06_random_faults.csv");
-  opt.warn_unknown();
+  ResultSink sink("fig06_random_faults");
+  ParallelSweep sweep(jobs);
+  if (dims == 0 || dims == 2)
+    run_dim(2, base2, paper, max_faults_opt, steps, t, sink, sweep);
+  if (dims == 0 || dims == 3)
+    run_dim(3, base3, paper, max_faults_opt, steps, t, sink, sweep);
+  bench::persist(opt, sink, "fig06_random_faults");
   return 0;
 }

@@ -12,7 +12,8 @@
 /// Runs are fanned across a ParallelSweep pool (--jobs=N, default
 /// hardware concurrency); output is bit-identical at any worker count.
 ///
-/// Usage: fig08_2d_shapes [--paper] [--csv=file] [--seed=N] [--jobs=N]
+/// Usage: fig08_2d_shapes [--paper] [--csv[=file]] [--json[=file]]
+///                        [--seed=N] [--jobs=N]
 
 #include "bench_util.hpp"
 #include "topology/faults.hpp"
@@ -25,6 +26,8 @@ int main(int argc, char** argv) {
   ExperimentSpec base = spec_from_options(opt, 2);
   bench::quick_cycles(opt, paper, base);
   base.sim.num_vcs = static_cast<int>(opt.get_int("vcs", 4));
+  const int jobs = bench::common_options(opt);
+  opt.warn_unknown();
 
   const int side = base.sides[0];
   HyperX scratch(base.sides,
@@ -49,12 +52,11 @@ int main(int argc, char** argv) {
   Table t({"shape", "faulty_links", "mechanism", "pattern", "accepted",
            "healthy", "degradation", "escape_frac"});
 
-  bench::run_shape_grid(base, shapes, bench::patterns_2d(),
-                        bench::sweep_jobs(opt), 9, t);
+  ResultSink sink("fig08_2d_shapes");
+  bench::run_shape_grid(base, shapes, bench::patterns_2d(), jobs, 9, t, sink);
   std::printf("\nPaper shape check: Row and Subplane cost ~11%%; Cross is the\n"
               "stressful one (root loses 2/3 of its links), with the largest\n"
               "drop under Uniform (~37%% in the paper).\n");
-  bench::maybe_csv(opt, t, "fig08_2d_shapes.csv");
-  opt.warn_unknown();
+  bench::persist(opt, sink, "fig08_2d_shapes");
   return 0;
 }

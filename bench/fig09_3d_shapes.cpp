@@ -8,7 +8,8 @@
 /// Runs are fanned across a ParallelSweep pool (--jobs=N, default
 /// hardware concurrency); output is bit-identical at any worker count.
 ///
-/// Usage: fig09_3d_shapes [--paper] [--csv=file] [--seed=N] [--jobs=N]
+/// Usage: fig09_3d_shapes [--paper] [--csv[=file]] [--json[=file]]
+///                        [--seed=N] [--jobs=N]
 
 #include "bench_util.hpp"
 #include "topology/faults.hpp"
@@ -21,6 +22,8 @@ int main(int argc, char** argv) {
   ExperimentSpec base = spec_from_options(opt, 3);
   bench::quick_cycles(opt, paper, base);
   base.sim.num_vcs = static_cast<int>(opt.get_int("vcs", 4));
+  const int jobs = bench::common_options(opt);
+  opt.warn_unknown();
 
   const int side = base.sides[0];
   HyperX scratch(base.sides,
@@ -49,12 +52,11 @@ int main(int argc, char** argv) {
   Table t({"shape", "faulty_links", "mechanism", "pattern", "accepted",
            "healthy", "degradation", "escape_frac"});
 
-  bench::run_shape_grid(base, shapes, bench::patterns_3d(),
-                        bench::sweep_jobs(opt), 8, t);
+  ResultSink sink("fig09_3d_shapes");
+  bench::run_shape_grid(base, shapes, bench::patterns_3d(), jobs, 8, t, sink);
   std::printf("\nPaper shape check: Row/Subcube behave like the 2D case; the\n"
               "RPN pattern keeps PolSP ahead except under Star faults, where\n"
               "in-cast at the 3-link root changes the picture (see Fig 10).\n");
-  bench::maybe_csv(opt, t, "fig09_3d_shapes.csv");
-  opt.warn_unknown();
+  bench::persist(opt, sink, "fig09_3d_shapes");
   return 0;
 }

@@ -7,8 +7,13 @@
 /// paper measures OmniSP completing ~2.8x slower than PolSP despite a
 /// higher throughput peak).
 ///
+/// The per-mechanism races are completion-mode SweepTasks fanned across a
+/// ParallelSweep pool (--jobs=N); output is bit-identical at any worker
+/// count.
+///
 /// Usage: fig10_completion [--paper] [--phits=4000] [--bucket=2000]
-///                         [--csv=file] [--seed=N]
+///                         [--deadline=N] [--csv[=file]] [--json[=file]]
+///                         [--seed=N] [--jobs=N]
 
 #include "bench_util.hpp"
 #include "topology/faults.hpp"
@@ -20,11 +25,12 @@ int main(int argc, char** argv) {
   const bool paper = opt.get_bool("paper", false);
   ExperimentSpec base = spec_from_options(opt, 3);
   base.sim.num_vcs = static_cast<int>(opt.get_int("vcs", 4));
-
   const long phits = opt.get_int("phits", paper ? 8000 : 4000);
   const long packets = phits / base.sim.packet_length;
   const Cycle bucket = opt.get_int("bucket", paper ? 5000 : 2000);
   const Cycle deadline = opt.get_int("deadline", 4000000);
+  const int jobs = bench::common_options(opt);
+  opt.warn_unknown();
 
   const int side = base.sides[0];
   HyperX scratch(base.sides,
@@ -36,19 +42,25 @@ int main(int argc, char** argv) {
                 "(every server sends " + std::to_string(phits) + " phits)",
                 base);
 
-  Table t({"mechanism", "bucket_start", "throughput"});
-  std::vector<std::pair<std::string, Cycle>> completions;
+  std::vector<SweepTask> tasks;
   for (const auto& mech : bench::surepath_mechanisms()) {
     ExperimentSpec s = base;
     s.mechanism = mech;
     s.pattern = "rpn";
     s.fault_links = star.links;
     s.escape_root = center;
-    Experiment e(s);
-    const CompletionResult res = e.run_completion(packets, bucket, deadline);
-    const std::string name = mechanism_display_name(mech);
-    completions.emplace_back(name, res.completion_time);
-    std::printf("\n%s: %s, completion time = %ld cycles\n", name.c_str(),
+    tasks.push_back(SweepTask::completion(s, packets, bucket, deadline));
+  }
+
+  Table t({"mechanism", "bucket_start", "throughput"});
+  ResultSink sink("fig10_completion");
+  std::vector<std::pair<std::string, Cycle>> completions;
+  ParallelSweep sweep(jobs);
+  sweep.run_tasks(tasks, [&](std::size_t i, const TaskResult& result) {
+    const CompletionResult& res = std::get<CompletionResult>(result);
+    completions.emplace_back(res.mechanism, res.completion_time);
+    std::printf("\n%s: %s, completion time = %ld cycles\n",
+                res.mechanism.c_str(),
                 res.drained ? "drained" : "DEADLINE EXCEEDED",
                 static_cast<long>(res.completion_time));
     std::printf("  t(cycles)  accepted(phits/cycle/server)\n");
@@ -57,11 +69,12 @@ int main(int argc, char** argv) {
           res.series.rate(b, static_cast<double>(res.num_servers));
       std::printf("  %8ld  %.4f\n",
                   static_cast<long>(res.series.bucket_start(b)), rate);
-      t.row().cell(name).cell(static_cast<long>(res.series.bucket_start(b)))
-          .cell(rate, 4);
+      t.row().cell(res.mechanism)
+          .cell(static_cast<long>(res.series.bucket_start(b))).cell(rate, 4);
     }
+    sink.add(tasks[i], result);
     std::fflush(stdout);
-  }
+  });
 
   if (completions.size() == 2 && completions[0].second > 0 &&
       completions[1].second > 0) {
@@ -71,7 +84,6 @@ int main(int argc, char** argv) {
                 completions[0].first.c_str(), completions[1].first.c_str(),
                 ratio);
   }
-  bench::maybe_csv(opt, t, "fig10_completion.csv");
-  opt.warn_unknown();
+  bench::persist(opt, sink, "fig10_completion");
   return 0;
 }

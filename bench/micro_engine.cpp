@@ -9,6 +9,7 @@
 #include "core/escape_updown.hpp"
 #include "core/surepath.hpp"
 #include "harness/experiment.hpp"
+#include "harness/sweep.hpp"
 #include "routing/factory.hpp"
 #include "routing/omnidimensional.hpp"
 #include "routing/polarized.hpp"
@@ -119,6 +120,30 @@ void BM_SimulationPoint(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SimulationPoint)->Unit(benchmark::kMillisecond);
+
+void BM_SweepFanout(benchmark::State& state) {
+  // Scaling of the parallel sweep engine: a small rate grid fanned across
+  // state.range(0) workers (the per-driver --jobs knob). On a single core
+  // this measures pure engine overhead versus BM_SimulationPoint.
+  ExperimentSpec s;
+  s.sides = {4, 4};
+  s.servers_per_switch = 4;
+  s.mechanism = "polsp";
+  s.pattern = "uniform";
+  s.sim.num_vcs = 4;
+  s.warmup = 500;
+  s.measure = 1000;
+  const auto points =
+      ParallelSweep::expand_loads(s, {0.2, 0.4, 0.6, 0.8, 1.0});
+  ParallelSweep sweep(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    const auto rows = sweep.run(points);
+    benchmark::DoNotOptimize(rows.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(points.size()));
+}
+BENCHMARK(BM_SweepFanout)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
 
 } // namespace
 } // namespace hxsp

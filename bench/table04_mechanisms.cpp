@@ -1,9 +1,11 @@
 /// \file table04_mechanisms.cpp
 /// Reproduces paper Table 4: the routing-mechanism inventory — routing
 /// algorithm, VC management and VC budget of every evaluated mechanism,
-/// as configured in this repository.
+/// as configured in this repository. The factory verification lines fan
+/// across the sweep pool via ParallelSweep::map (--jobs=N), delivered in
+/// submission order.
 ///
-/// Usage: table04_mechanisms [--csv=file]
+/// Usage: table04_mechanisms [--jobs=N] [--csv[=file]] [--json[=file]]
 
 #include "bench_util.hpp"
 #include "core/surepath.hpp"
@@ -14,31 +16,57 @@ using namespace hxsp;
 
 int main(int argc, char** argv) {
   const Options opt(argc, argv);
+  const int jobs = bench::common_options(opt);
+  opt.warn_unknown();
+
   std::printf("Table 4 — Routing mechanisms evaluated (n = dimensions)\n\n");
 
+  struct Row {
+    const char* mech, *algo, *vc_mgmt, *use_2n, *vcs;
+  };
+  const std::vector<Row> rows = {
+      {"Minimal", "Shortest path (BFS tables)", "Ladder", "2 VCs per step", "n"},
+      {"Valiant", "Shortest path per phase", "Ladder", "1 VC per step", "2n"},
+      {"OmniWAR", "Omnidimensional", "Ladder",
+       "1 VC per hop (n min + n deroutes)", "2n"},
+      {"Polarized", "Polarized", "Ladder", "1 VC per step", "2n"},
+      {"OmniSP", "Omnidimensional", "SurePath",
+       "2n-1 VCs routing (free) + 1 VC Up/Down", "2"},
+      {"PolSP", "Polarized", "SurePath",
+       "2n-1 VCs routing (rung) + 1 VC Up/Down", "2"},
+  };
   Table t({"Mechanism", "Routing algorithm", "VC management", "Use of 2n VCs",
            "VCs required"});
-  t.row().cell("Minimal").cell("Shortest path (BFS tables)").cell("Ladder")
-      .cell("2 VCs per step").cell("n");
-  t.row().cell("Valiant").cell("Shortest path per phase").cell("Ladder")
-      .cell("1 VC per step").cell("2n");
-  t.row().cell("OmniWAR").cell("Omnidimensional").cell("Ladder")
-      .cell("1 VC per hop (n min + n deroutes)").cell("2n");
-  t.row().cell("Polarized").cell("Polarized").cell("Ladder")
-      .cell("1 VC per step").cell("2n");
-  t.row().cell("OmniSP").cell("Omnidimensional").cell("SurePath")
-      .cell("2n-1 VCs routing (free) + 1 VC Up/Down").cell("2");
-  t.row().cell("PolSP").cell("Polarized").cell("SurePath")
-      .cell("2n-1 VCs routing (rung) + 1 VC Up/Down").cell("2");
+  ResultSink sink("table04_mechanisms");
+  for (const Row& r : rows) {
+    t.row().cell(r.mech).cell(r.algo).cell(r.vc_mgmt).cell(r.use_2n).cell(r.vcs);
+    ResultRecord rec;
+    rec.kind = "info";
+    rec.mechanism = r.mech;
+    rec.extra = std::string("algorithm=") + r.algo + ";vc_management=" +
+                r.vc_mgmt + ";vcs_required=" + r.vcs;
+    sink.add(std::move(rec));
+  }
   std::printf("%s\n", t.str().c_str());
 
-  // Verify that the factory actually builds what the table advertises.
-  for (const auto& name : mechanism_names()) {
-    auto m = make_mechanism(name);
-    std::printf("factory: %-10s -> %-10s escape=%s\n", name.c_str(),
-                m->name().c_str(), m->needs_escape() ? "yes" : "no");
-  }
-  bench::maybe_csv(opt, t, "table04_mechanisms.csv");
-  opt.warn_unknown();
+  // Verify that the factory actually builds what the table advertises;
+  // each construction is independent, so fan them across the pool.
+  const auto names = mechanism_names();
+  struct Built {
+    std::string display;
+    bool escape = false;
+  };
+  ParallelSweep sweep(jobs);
+  sweep.map<Built>(
+      names.size(),
+      [&](std::size_t i) {
+        auto m = make_mechanism(names[i]);
+        return Built{m->name(), m->needs_escape()};
+      },
+      [&](std::size_t i, const Built& b) {
+        std::printf("factory: %-10s -> %-10s escape=%s\n", names[i].c_str(),
+                    b.display.c_str(), b.escape ? "yes" : "no");
+      });
+  bench::persist(opt, sink, "table04_mechanisms");
   return 0;
 }

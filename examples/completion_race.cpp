@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
   const Options opt(argc, argv);
   const int side = static_cast<int>(opt.get_int("side", 4));
   const long phits = opt.get_int("phits", 2000);
+  opt.warn_unknown();
 
   ExperimentSpec base;
   base.sides = {side, side, side};

@@ -27,6 +27,7 @@ void report(const char* title, const ResultRow& r) {
 int main(int argc, char** argv) {
   const Options opt(argc, argv);
   const int side = static_cast<int>(opt.get_int("side", 8));
+  opt.warn_unknown();
 
   ExperimentSpec base;
   base.sides = {side, side};

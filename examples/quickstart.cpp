@@ -18,6 +18,8 @@ int main(int argc, char** argv) {
   // SurePath over Polarized routes — the paper's PolSP configuration.
   hxsp::ExperimentSpec spec;
   const int side = static_cast<int>(opt.get_int("side", 8));
+  const double load = opt.get_double("load", 0.5);
+  opt.warn_unknown();
   spec.sides = {side, side};
   spec.mechanism = "polsp";
   spec.pattern = "uniform";
@@ -34,7 +36,6 @@ int main(int argc, char** argv) {
               experiment.escape()->root(), experiment.escape()->num_black_links(),
               experiment.escape()->num_red_links());
 
-  const double load = opt.get_double("load", 0.5);
   const hxsp::ResultRow r = experiment.run_load(load);
   std::printf("offered load      : %.2f phits/cycle/server\n", r.offered);
   std::printf("accepted load     : %.3f phits/cycle/server\n", r.accepted);

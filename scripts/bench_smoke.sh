@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# Bench-driver smoke test: runs every bench executable at tiny scale with
+# --jobs=2 and checks (a) it exits cleanly and (b) its persisted CSV and
+# JSON are byte-identical to a --jobs=1 run — the driver-level half of the
+# determinism contract the unit tests enforce at the engine level.
+#
+# Usage: scripts/bench_smoke.sh [build-dir]   (default: build)
+set -u
+
+BUILD_DIR="${1:-build}"
+WORK_DIR="$(mktemp -d)"
+trap 'rm -rf "$WORK_DIR"' EXIT
+FAILED=0
+
+# driver + tiny arguments; every simulation driver gets short windows.
+DRIVERS=(
+  "table03_topology"
+  "table04_mechanisms"
+  "fig01_diameter_faults --side=4 --dims=2 --seeds=2 --step=8"
+  "fig04_2d_faultfree --side=4 --warmup=200 --measure=400 --loads=0.5,1.0"
+  "fig05_3d_faultfree --side=4 --warmup=150 --measure=300 --loads=0.5,1.0"
+  "fig06_random_faults --side=4 --warmup=200 --measure=400 --steps=2 --max-faults=4"
+  "fig08_2d_shapes --side=4 --warmup=200 --measure=400"
+  "fig09_3d_shapes --side=4 --warmup=150 --measure=300"
+  "fig10_completion --side=4 --phits=256 --bucket=500 --deadline=40000"
+  "ablation_crout_policy --side=4 --warmup=200 --measure=400"
+  "ablation_escape_mode --side=4 --warmup=200 --measure=400"
+  "ablation_penalties --side=4 --warmup=200 --measure=400"
+  "ablation_root --side=4 --warmup=150 --measure=300"
+  "ablation_shortcuts --side=4 --warmup=200 --measure=400"
+  "ablation_vcs --side=4 --warmup=150 --measure=300"
+  "ext_dragonfly_escape"
+  "ext_dynamic_faults --side=4 --warmup=500 --measure=2000 --faults=3"
+)
+
+for entry in "${DRIVERS[@]}"; do
+  read -r driver args <<< "$entry"
+  bin="$BUILD_DIR/$driver"
+  if [[ ! -x "$bin" ]]; then
+    echo "MISSING $driver (not built)"
+    FAILED=1
+    continue
+  fi
+  # shellcheck disable=SC2086  # word-splitting of $args is intended
+  if ! "$bin" $args --jobs=2 \
+        --csv="$WORK_DIR/$driver.csv" --json="$WORK_DIR/$driver.json" \
+        > "$WORK_DIR/$driver.out" 2>&1; then
+    echo "FAIL    $driver (non-zero exit)"
+    tail -5 "$WORK_DIR/$driver.out"
+    FAILED=1
+    continue
+  fi
+  # shellcheck disable=SC2086
+  "$bin" $args --jobs=1 \
+      --csv="$WORK_DIR/$driver.1.csv" --json="$WORK_DIR/$driver.1.json" \
+      > /dev/null 2>&1
+  if ! cmp -s "$WORK_DIR/$driver.csv" "$WORK_DIR/$driver.1.csv" ||
+     ! cmp -s "$WORK_DIR/$driver.json" "$WORK_DIR/$driver.1.json"; then
+    echo "FAIL    $driver (--jobs=1 vs --jobs=2 output differs)"
+    FAILED=1
+    continue
+  fi
+  if [[ ! -s "$WORK_DIR/$driver.csv" || ! -s "$WORK_DIR/$driver.json" ]]; then
+    echo "FAIL    $driver (empty persisted output)"
+    FAILED=1
+    continue
+  fi
+  echo "OK      $driver"
+done
+
+# micro_engine is a Google Benchmark binary (present only when the library
+# is installed); one tiny repetition proves it still runs.
+if [[ -x "$BUILD_DIR/micro_engine" ]]; then
+  if "$BUILD_DIR/micro_engine" --benchmark_filter=BM_SweepFanout/1 \
+       --benchmark_min_time=0.01 > "$WORK_DIR/micro_engine.out" 2>&1; then
+    echo "OK      micro_engine"
+  else
+    echo "FAIL    micro_engine"
+    tail -5 "$WORK_DIR/micro_engine.out"
+    FAILED=1
+  fi
+else
+  echo "SKIP    micro_engine (Google Benchmark not installed)"
+fi
+
+exit $FAILED

@@ -70,6 +70,8 @@ CompletionResult Experiment::run_completion(long packets_per_server,
   Network net(ctx_, *mech_, *traffic_, spec_.sim, sps,
               rng_.fork(0xC0).next_u64());
   CompletionResult res;
+  res.mechanism = mech_->name();
+  res.pattern = spec_.pattern;
   res.series = TimeSeries(bucket_width);
   res.num_servers = net.num_servers();
   net.attach_timeseries(&res.series);

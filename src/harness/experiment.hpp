@@ -66,6 +66,8 @@ struct DynamicResult {
 
 /// Result of a completion-time run (paper Fig 10).
 struct CompletionResult {
+  std::string mechanism;    ///< display name, e.g. "PolSP"
+  std::string pattern;      ///< traffic pattern name
   bool drained = false;     ///< all packets consumed before the deadline
   Cycle completion_time = 0;///< cycle of the last consumption
   TimeSeries series{1000};  ///< consumed phits per time bucket

@@ -1,15 +1,77 @@
 #include "harness/sweep.hpp"
 
-#include <atomic>
-#include <condition_variable>
-#include <exception>
-#include <mutex>
-
 namespace hxsp {
+
+const char* task_kind_name(TaskKind kind) {
+  switch (kind) {
+    case TaskKind::kRate: return "rate";
+    case TaskKind::kCompletion: return "completion";
+    case TaskKind::kDynamic: return "dynamic";
+  }
+  return "?";
+}
+
+SweepTask SweepTask::rate(ExperimentSpec spec, double offered) {
+  SweepTask t;
+  t.kind = TaskKind::kRate;
+  t.spec = std::move(spec);
+  t.offered = offered;
+  return t;
+}
+
+SweepTask SweepTask::completion(ExperimentSpec spec, long packets_per_server,
+                                Cycle bucket_width, Cycle max_cycles) {
+  SweepTask t;
+  t.kind = TaskKind::kCompletion;
+  t.spec = std::move(spec);
+  t.packets_per_server = packets_per_server;
+  t.bucket_width = bucket_width;
+  t.max_cycles = max_cycles;
+  return t;
+}
+
+SweepTask SweepTask::dynamic_faults(ExperimentSpec spec, double offered,
+                                    std::vector<FaultEvent> events) {
+  SweepTask t;
+  t.kind = TaskKind::kDynamic;
+  t.spec = std::move(spec);
+  t.offered = offered;
+  t.events = std::move(events);
+  return t;
+}
+
+TaskKind task_result_kind(const TaskResult& result) {
+  switch (result.index()) {
+    case 0: return TaskKind::kRate;
+    case 1: return TaskKind::kCompletion;
+    default: return TaskKind::kDynamic;
+  }
+}
+
+const ResultRow* task_result_row(const TaskResult& result) {
+  if (const ResultRow* row = std::get_if<ResultRow>(&result)) return row;
+  if (const DynamicResult* dyn = std::get_if<DynamicResult>(&result))
+    return &dyn->row;
+  return nullptr;
+}
 
 ResultRow run_sweep_point(const SweepPoint& point) {
   Experiment e(point.spec);
   return e.run_load(point.offered);
+}
+
+TaskResult run_sweep_task(const SweepTask& task) {
+  Experiment e(task.spec);
+  switch (task.kind) {
+    case TaskKind::kCompletion:
+      return e.run_completion(task.packets_per_server, task.bucket_width,
+                              task.max_cycles);
+    case TaskKind::kDynamic:
+      return e.run_load_dynamic(task.offered, task.events);
+    case TaskKind::kRate:
+      break;
+  }
+  return e.run_load(task.offered);
 }
 
 ParallelSweep::ParallelSweep(int workers) : pool_(workers) {}
@@ -17,56 +79,19 @@ ParallelSweep::ParallelSweep(int workers) : pool_(workers) {}
 std::vector<ResultRow> ParallelSweep::run(
     const std::vector<SweepPoint>& points,
     const std::function<void(std::size_t, const ResultRow&)>& on_result) {
-  std::vector<ResultRow> rows(points.size());
-  if (points.empty()) return rows;
+  return map<ResultRow>(
+      points.size(),
+      [&points](std::size_t i) { return run_sweep_point(points[i]); },
+      on_result);
+}
 
-  std::mutex mu;
-  std::condition_variable ready;
-  std::vector<char> done(points.size(), 0);
-  std::vector<std::exception_ptr> errors(points.size());
-  std::atomic<bool> aborted{false};
-
-  // Everything below may throw (submit allocates, a point's Experiment
-  // may fail, on_result is caller code); before any exception unwinds
-  // this frame the pool must drain, since in-flight jobs reference the
-  // locals above. Results are delivered strictly in submission order —
-  // workers may finish in any order, the caller never observes that.
-  try {
-    for (std::size_t i = 0; i < points.size(); ++i) {
-      pool_.submit([&, i] {
-        // Once an error is pending the run only needs to drain, not
-        // compute: skip still-queued simulations (each can be minutes
-        // at paper scale). A throw must not escape the worker thread
-        // (std::terminate); capture it and rethrow on the delivering
-        // thread, in order.
-        if (!aborted.load(std::memory_order_relaxed)) {
-          try {
-            rows[i] = run_sweep_point(points[i]);
-          } catch (...) {
-            errors[i] = std::current_exception();
-          }
-        }
-        {
-          std::lock_guard<std::mutex> lock(mu);
-          done[i] = 1;
-        }
-        ready.notify_all();
-      });
-    }
-    for (std::size_t i = 0; i < points.size(); ++i) {
-      std::unique_lock<std::mutex> lock(mu);
-      ready.wait(lock, [&] { return done[i] != 0; });
-      lock.unlock();
-      if (errors[i]) std::rethrow_exception(errors[i]);
-      if (on_result) on_result(i, rows[i]);
-    }
-  } catch (...) {
-    aborted.store(true, std::memory_order_relaxed);
-    pool_.wait_idle();
-    throw;
-  }
-  pool_.wait_idle();
-  return rows;
+std::vector<TaskResult> ParallelSweep::run_tasks(
+    const std::vector<SweepTask>& tasks,
+    const std::function<void(std::size_t, const TaskResult&)>& on_result) {
+  return map<TaskResult>(
+      tasks.size(),
+      [&tasks](std::size_t i) { return run_sweep_task(tasks[i]); },
+      on_result);
 }
 
 std::vector<SweepPoint> ParallelSweep::expand_loads(
@@ -89,6 +114,18 @@ std::vector<SweepPoint> ParallelSweep::expand_seeds(const ExperimentSpec& spec,
     points.push_back(std::move(p));
   }
   return points;
+}
+
+std::vector<SweepTask> ParallelSweep::expand_task_seeds(
+    const SweepTask& proto, std::uint64_t first_seed, int trials) {
+  std::vector<SweepTask> tasks;
+  tasks.reserve(static_cast<std::size_t>(trials));
+  for (int t = 0; t < trials; ++t) {
+    SweepTask task = proto;
+    task.spec.seed = first_seed + static_cast<std::uint64_t>(t);
+    tasks.push_back(std::move(task));
+  }
+  return tasks;
 }
 
 } // namespace hxsp

@@ -4,15 +4,34 @@
 ///
 /// Every figure in the paper is a grid of *independent* simulations
 /// (mechanism x pattern x load x fault set x seed). ParallelSweep fans
-/// such a grid across a ThreadPool: each SweepPoint gets its own
-/// Experiment (own topology copy, tables, traffic and RNG stream, all
-/// derived from the spec's seed), so no mutable state crosses tasks and
-/// the merged result vector is bit-identical to running the same points
-/// in a serial loop — results are always delivered in submission order,
-/// whatever order the workers finish in.
+/// such a grid across a ThreadPool: each point gets its own Experiment
+/// (own topology copy, tables, traffic and RNG stream, all derived from
+/// the spec's seed), so no mutable state crosses tasks and the merged
+/// result vector is bit-identical to running the same points in a serial
+/// loop — results are always delivered in submission order, whatever
+/// order the workers finish in.
+///
+/// Three layers, outermost first:
+///  - map(): a deterministic ordered parallel map over any index range —
+///    the engine's core. Exception-safe (a throw from the function or the
+///    delivery callback drains the pool before unwinding) and ordered
+///    (delivery strictly in index order on the calling thread).
+///  - run_tasks(): the tagged task model. A SweepTask is rate-mode
+///    (Experiment::run_load -> ResultRow), completion-mode
+///    (run_completion -> CompletionResult) or dynamic-fault-mode
+///    (run_load_dynamic -> DynamicResult); results come back as a
+///    TaskResult variant. This covers every simulation the paper's
+///    figures need.
+///  - run(): the original rate-only convenience (SweepPoint -> ResultRow),
+///    kept because most grids are pure rate sweeps.
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <exception>
 #include <functional>
+#include <mutex>
+#include <variant>
 #include <vector>
 
 #include "harness/experiment.hpp"
@@ -20,13 +39,57 @@
 
 namespace hxsp {
 
-/// One independent simulation: a full spec plus the offered load to run.
+/// One independent rate-mode simulation: a full spec plus the offered
+/// load to run.
 struct SweepPoint {
   ExperimentSpec spec;
   double offered = 1.0;
 };
 
-/// Fans SweepPoints across worker threads and merges results in
+/// Which Experiment entry point a SweepTask runs.
+enum class TaskKind { kRate, kCompletion, kDynamic };
+
+/// Stable lowercase name for a kind ("rate" / "completion" / "dynamic");
+/// this is also the string ResultSink persists.
+const char* task_kind_name(TaskKind kind);
+
+/// One independent simulation of any kind: a full spec plus the
+/// parameters of whichever Experiment entry point \ref kind selects.
+/// Build with the factories below; unused fields are ignored.
+struct SweepTask {
+  TaskKind kind = TaskKind::kRate;
+  ExperimentSpec spec;
+
+  double offered = 1.0;            ///< rate + dynamic modes
+  long packets_per_server = 0;     ///< completion mode
+  Cycle bucket_width = 1000;       ///< completion mode
+  Cycle max_cycles = 0;            ///< completion mode (deadline)
+  std::vector<FaultEvent> events;  ///< dynamic mode (online failures)
+
+  /// Rate-mode task: Experiment::run_load(offered).
+  static SweepTask rate(ExperimentSpec spec, double offered);
+
+  /// Completion-mode task: Experiment::run_completion(...).
+  static SweepTask completion(ExperimentSpec spec, long packets_per_server,
+                              Cycle bucket_width, Cycle max_cycles);
+
+  /// Dynamic-fault task: Experiment::run_load_dynamic(offered, events).
+  static SweepTask dynamic_faults(ExperimentSpec spec, double offered,
+                                  std::vector<FaultEvent> events);
+};
+
+/// Tagged result of a SweepTask; the alternative matches the task's kind.
+using TaskResult = std::variant<ResultRow, CompletionResult, DynamicResult>;
+
+/// Kind of the alternative held by \p result.
+TaskKind task_result_kind(const TaskResult& result);
+
+/// The scalar ResultRow embedded in \p result: the row itself for rate
+/// results, DynamicResult::row for dynamic ones, nullptr for completion
+/// results (which have no rate-style scalars).
+const ResultRow* task_result_row(const TaskResult& result);
+
+/// Fans independent work across worker threads and merges results in
 /// submission order. The pool persists across run() calls, so one
 /// ParallelSweep can serve a whole bench driver.
 class ParallelSweep {
@@ -36,7 +99,7 @@ class ParallelSweep {
 
   int workers() const { return pool_.size(); }
 
-  /// Runs every point; result i is points[i]'s ResultRow. When
+  /// Runs every rate point; result i is points[i]'s ResultRow. When
   /// \p on_result is provided it is invoked on the calling thread in
   /// submission order (point 0 first) as soon as each result and all its
   /// predecessors are ready — incremental output stays deterministic.
@@ -47,6 +110,75 @@ class ParallelSweep {
   std::vector<ResultRow> run(
       const std::vector<SweepPoint>& points,
       const std::function<void(std::size_t, const ResultRow&)>& on_result = {});
+
+  /// Runs every task (any mix of kinds); result i holds tasks[i]'s
+  /// TaskResult. Ordering and exception semantics are exactly run()'s.
+  std::vector<TaskResult> run_tasks(
+      const std::vector<SweepTask>& tasks,
+      const std::function<void(std::size_t, const TaskResult&)>& on_result = {});
+
+  /// Deterministic ordered parallel map: evaluates fn(0) .. fn(n-1) on
+  /// the pool and returns the results indexed by input. \p on_result is
+  /// called on this thread strictly in index order. R must be default-
+  /// constructible. This is the primitive run()/run_tasks() are built on;
+  /// drivers whose unit of work is not a simulation (pure graph studies)
+  /// use it directly and inherit the same determinism and exception-drain
+  /// guarantees: fn must be self-contained (no shared mutable state).
+  template <typename R>
+  std::vector<R> map(
+      std::size_t n, const std::function<R(std::size_t)>& fn,
+      const std::function<void(std::size_t, const R&)>& on_result = {}) {
+    std::vector<R> results(n);
+    if (n == 0) return results;
+
+    std::mutex mu;
+    std::condition_variable ready;
+    std::vector<char> done(n, 0);
+    std::vector<std::exception_ptr> errors(n);
+    std::atomic<bool> aborted{false};
+
+    // Everything below may throw (submit allocates, fn is arbitrary user
+    // code, on_result is caller code); before any exception unwinds this
+    // frame the pool must drain, since in-flight jobs reference the
+    // locals above. Results are delivered strictly in index order —
+    // workers may finish in any order, the caller never observes that.
+    try {
+      for (std::size_t i = 0; i < n; ++i) {
+        pool_.submit([&, i] {
+          // Once an error is pending the run only needs to drain, not
+          // compute: skip still-queued jobs (each can be minutes at
+          // paper scale). A throw must not escape the worker thread
+          // (std::terminate); capture it and rethrow on the delivering
+          // thread, in order.
+          if (!aborted.load(std::memory_order_relaxed)) {
+            try {
+              results[i] = fn(i);
+            } catch (...) {
+              errors[i] = std::current_exception();
+            }
+          }
+          {
+            std::lock_guard<std::mutex> lock(mu);
+            done[i] = 1;
+          }
+          ready.notify_all();
+        });
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        std::unique_lock<std::mutex> lock(mu);
+        ready.wait(lock, [&] { return done[i] != 0; });
+        lock.unlock();
+        if (errors[i]) std::rethrow_exception(errors[i]);
+        if (on_result) on_result(i, results[i]);
+      }
+    } catch (...) {
+      aborted.store(true, std::memory_order_relaxed);
+      pool_.wait_idle();
+      throw;
+    }
+    pool_.wait_idle();
+    return results;
+  }
 
   /// One spec swept over \p loads (the throughput/latency curves).
   static std::vector<SweepPoint> expand_loads(const ExperimentSpec& spec,
@@ -59,12 +191,21 @@ class ParallelSweep {
                                               std::uint64_t first_seed,
                                               int trials);
 
+  /// \p proto repeated over \p trials seeds, keeping its kind/parameters.
+  static std::vector<SweepTask> expand_task_seeds(const SweepTask& proto,
+                                                  std::uint64_t first_seed,
+                                                  int trials);
+
  private:
   ThreadPool pool_;
 };
 
-/// Runs one point to completion (what each worker executes); exposed so
-/// tests can compare the serial and parallel paths directly.
+/// Runs one rate point to completion (what each worker executes); exposed
+/// so tests can compare the serial and parallel paths directly.
 ResultRow run_sweep_point(const SweepPoint& point);
+
+/// Runs one task of any kind to completion on a fresh Experiment; the
+/// serial reference for the parallel engine's bit-identity contract.
+TaskResult run_sweep_task(const SweepTask& task);
 
 } // namespace hxsp

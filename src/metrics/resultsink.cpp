@@ -1,0 +1,580 @@
+#include "metrics/resultsink.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/check.hpp"
+
+namespace hxsp {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Formatting helpers. Doubles use 17 significant digits so that
+// parse(write(x)) == x bit-exactly; the persisted files thereby inherit
+// the sweep engine's bit-identity guarantee across worker counts.
+// ---------------------------------------------------------------------------
+
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+std::string fmt_i64(std::int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  return buf;
+}
+
+std::string fmt_u64(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::string join_series(const std::vector<std::int64_t>& series) {
+  std::string out;
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    if (i) out += '|';
+    out += fmt_i64(series[i]);
+  }
+  return out;
+}
+
+std::vector<std::int64_t> split_series(const std::string& s) {
+  std::vector<std::int64_t> out;
+  if (s.empty()) return out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = s.find('|', start);
+    const std::string field = s.substr(start, pos - start);
+    out.push_back(static_cast<std::int64_t>(
+        std::strtoll(field.c_str(), nullptr, 10)));
+    if (pos == std::string::npos) return out;
+    start = pos + 1;
+  }
+}
+
+double parse_double(const std::string& s) {
+  return std::strtod(s.c_str(), nullptr);
+}
+
+std::int64_t parse_i64(const std::string& s) {
+  return static_cast<std::int64_t>(std::strtoll(s.c_str(), nullptr, 10));
+}
+
+std::uint64_t parse_u64(const std::string& s) {
+  return std::strtoull(s.c_str(), nullptr, 10);
+}
+
+// ---------------------------------------------------------------------------
+// CSV escaping (RFC 4180): fields containing separators, quotes or
+// newlines are quoted, internal quotes doubled.
+// ---------------------------------------------------------------------------
+
+std::string csv_escape(const std::string& field) {
+  if (field.find_first_of(",\"\n\r") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+/// Splits CSV \p text into rows of fields, honouring quoted fields (which
+/// may contain commas, doubled quotes and newlines).
+std::vector<std::vector<std::string>> csv_rows(const std::string& text) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;  // row has content even if fields are empty
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_quotes = true;
+        field_started = true;
+        break;
+      case ',':
+        row.push_back(field);
+        field.clear();
+        field_started = true;
+        break;
+      case '\r':
+        break;
+      case '\n':
+        if (field_started || !field.empty() || !row.empty()) {
+          row.push_back(field);
+          rows.push_back(row);
+        }
+        field.clear();
+        row.clear();
+        field_started = false;
+        break;
+      default:
+        field += c;
+        field_started = true;
+        break;
+    }
+  }
+  HXSP_CHECK_MSG(!in_quotes, "CSV ends inside a quoted field");
+  if (field_started || !field.empty() || !row.empty()) {
+    row.push_back(field);
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+// ---------------------------------------------------------------------------
+// JSON escaping and a minimal parser for the subset json() emits: an
+// array of flat objects whose values are strings, numbers, booleans or
+// arrays of integers.
+// ---------------------------------------------------------------------------
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char ch : s) {
+    const unsigned char c = static_cast<unsigned char>(ch);
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  /// Parses the whole input as an array of flat objects; every value is
+  /// returned in its string form (numbers/booleans unquoted, arrays
+  /// re-joined with '|' to match the CSV series encoding).
+  std::vector<std::vector<std::pair<std::string, std::string>>> parse() {
+    std::vector<std::vector<std::pair<std::string, std::string>>> objects;
+    expect('[');
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return objects;
+    }
+    while (true) {
+      objects.push_back(parse_object());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return objects;
+    }
+  }
+
+ private:
+  char peek() {
+    HXSP_CHECK_MSG(pos_ < s_.size(), "JSON input truncated");
+    return s_[pos_];
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\n' || s_[pos_] == '\t' ||
+            s_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  void expect(char c) {
+    skip_ws();
+    HXSP_CHECK_MSG(peek() == c, "unexpected character in JSON input");
+    ++pos_;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      char c = peek();
+      ++pos_;
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      c = peek();
+      ++pos_;
+      switch (c) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          HXSP_CHECK_MSG(pos_ + 4 <= s_.size(), "JSON \\u escape truncated");
+          const unsigned long code =
+              std::strtoul(s_.substr(pos_, 4).c_str(), nullptr, 16);
+          HXSP_CHECK_MSG(code < 0x80, "non-ASCII \\u escape unsupported");
+          out += static_cast<char>(code);
+          pos_ += 4;
+          break;
+        }
+        default:
+          HXSP_CHECK_MSG(false, "unsupported JSON escape");
+      }
+    }
+  }
+
+  std::string parse_scalar() {
+    skip_ws();
+    if (peek() == '"') return parse_string();
+    std::string out;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (c == ',' || c == '}' || c == ']' || c == ' ' || c == '\n' ||
+          c == '\r' || c == '\t')
+        break;
+      out += c;
+      ++pos_;
+    }
+    HXSP_CHECK_MSG(!out.empty(), "empty JSON scalar");
+    return out;
+  }
+
+  std::string parse_value() {
+    skip_ws();
+    if (peek() != '[') return parse_scalar();
+    ++pos_;  // the only array values are integer series
+    std::string out;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return out;
+    }
+    while (true) {
+      if (!out.empty()) out += '|';
+      out += parse_scalar();
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return out;
+    }
+  }
+
+  std::vector<std::pair<std::string, std::string>> parse_object() {
+    std::vector<std::pair<std::string, std::string>> kv;
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return kv;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      expect(':');
+      kv.emplace_back(std::move(key), parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return kv;
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+/// Column order must match columns(); the single source of the mapping
+/// between a record and its serialized fields.
+std::vector<std::string> record_fields(const ResultRecord& r) {
+  return {r.driver,
+          r.kind,
+          r.label,
+          r.mechanism,
+          r.pattern,
+          fmt_double(r.offered),
+          fmt_u64(r.seed),
+          fmt_double(r.generated),
+          fmt_double(r.accepted),
+          fmt_double(r.avg_latency),
+          fmt_double(r.jain),
+          fmt_double(r.escape_frac),
+          fmt_double(r.forced_frac),
+          fmt_i64(r.p99_latency),
+          fmt_i64(r.cycles),
+          fmt_i64(r.packets),
+          fmt_i64(r.num_servers),
+          fmt_i64(r.dropped),
+          r.drained ? "1" : "0",
+          fmt_i64(r.completion_time),
+          fmt_i64(r.series_width),
+          join_series(r.series),
+          r.extra};
+}
+
+/// Inverse of record_fields().
+ResultRecord record_from_fields(const std::vector<std::string>& f) {
+  HXSP_CHECK_MSG(f.size() == ResultSink::columns().size(),
+                 "result record has wrong column count");
+  ResultRecord r;
+  r.driver = f[0];
+  r.kind = f[1];
+  r.label = f[2];
+  r.mechanism = f[3];
+  r.pattern = f[4];
+  r.offered = parse_double(f[5]);
+  r.seed = parse_u64(f[6]);
+  r.generated = parse_double(f[7]);
+  r.accepted = parse_double(f[8]);
+  r.avg_latency = parse_double(f[9]);
+  r.jain = parse_double(f[10]);
+  r.escape_frac = parse_double(f[11]);
+  r.forced_frac = parse_double(f[12]);
+  r.p99_latency = parse_i64(f[13]);
+  r.cycles = parse_i64(f[14]);
+  r.packets = parse_i64(f[15]);
+  r.num_servers = parse_i64(f[16]);
+  r.dropped = parse_i64(f[17]);
+  r.drained = f[18] == "1" || f[18] == "true";
+  r.completion_time = parse_i64(f[19]);
+  r.series_width = parse_i64(f[20]);
+  r.series = split_series(f[21]);
+  r.extra = f[22];
+  return r;
+}
+
+/// True for the columns serialized as JSON strings (everything else is a
+/// number, boolean or array).
+bool is_string_column(std::size_t col) {
+  return col <= 4 || col == ResultSink::columns().size() - 1;
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  const std::size_t n = std::fwrite(content.data(), 1, content.size(), f);
+  const bool ok = n == content.size() && std::fclose(f) == 0;
+  if (n != content.size()) std::fclose(f);
+  return ok;
+}
+
+} // namespace
+
+bool operator==(const ResultRecord& a, const ResultRecord& b) {
+  return a.driver == b.driver && a.kind == b.kind && a.label == b.label &&
+         a.mechanism == b.mechanism && a.pattern == b.pattern &&
+         a.offered == b.offered && a.seed == b.seed &&
+         a.generated == b.generated && a.accepted == b.accepted &&
+         a.avg_latency == b.avg_latency && a.jain == b.jain &&
+         a.escape_frac == b.escape_frac && a.forced_frac == b.forced_frac &&
+         a.p99_latency == b.p99_latency && a.cycles == b.cycles &&
+         a.packets == b.packets && a.num_servers == b.num_servers &&
+         a.dropped == b.dropped && a.drained == b.drained &&
+         a.completion_time == b.completion_time &&
+         a.series_width == b.series_width && a.series == b.series &&
+         a.extra == b.extra;
+}
+
+ResultSink::ResultSink(std::string driver) : driver_(std::move(driver)) {}
+
+const std::vector<std::string>& ResultSink::columns() {
+  static const std::vector<std::string> cols = {
+      "driver",      "kind",        "label",       "mechanism",
+      "pattern",     "offered",     "seed",        "generated",
+      "accepted",    "avg_latency", "jain",        "escape_frac",
+      "forced_frac", "p99_latency", "cycles",      "packets",
+      "num_servers", "dropped",     "drained",     "completion_time",
+      "series_width", "series",     "extra"};
+  return cols;
+}
+
+void ResultSink::add(ResultRecord rec) {
+  rec.driver = driver_;
+  records_.push_back(std::move(rec));
+}
+
+void ResultSink::add(const SweepTask& task, const TaskResult& result,
+                     std::string label, std::string extra) {
+  ResultRecord rec;
+  rec.kind = task_kind_name(task.kind);
+  rec.label = std::move(label);
+  rec.extra = std::move(extra);
+  rec.seed = task.spec.seed;
+
+  if (const ResultRow* row = task_result_row(result)) {
+    rec.mechanism = row->mechanism;
+    rec.pattern = row->pattern;
+    rec.offered = row->offered;
+    rec.generated = row->generated;
+    rec.accepted = row->accepted;
+    rec.avg_latency = row->avg_latency;
+    rec.jain = row->jain;
+    rec.escape_frac = row->escape_frac;
+    rec.forced_frac = row->forced_frac;
+    rec.p99_latency = static_cast<std::int64_t>(row->p99_latency);
+    rec.cycles = static_cast<std::int64_t>(row->cycles);
+    rec.packets = row->packets;
+  }
+  if (const CompletionResult* c = std::get_if<CompletionResult>(&result)) {
+    rec.mechanism = c->mechanism;
+    rec.pattern = c->pattern;
+    rec.drained = c->drained;
+    rec.completion_time = static_cast<std::int64_t>(c->completion_time);
+    rec.num_servers = static_cast<std::int64_t>(c->num_servers);
+    rec.series_width = static_cast<std::int64_t>(c->series.width());
+    for (std::size_t b = 0; b < c->series.num_buckets(); ++b)
+      rec.series.push_back(c->series.bucket(b));
+  }
+  if (const DynamicResult* d = std::get_if<DynamicResult>(&result)) {
+    rec.dropped = d->dropped;
+    rec.num_servers = static_cast<std::int64_t>(d->num_servers);
+    rec.series_width = static_cast<std::int64_t>(d->series.width());
+    for (std::size_t b = 0; b < d->series.num_buckets(); ++b)
+      rec.series.push_back(d->series.bucket(b));
+  }
+  add(std::move(rec));
+}
+
+void ResultSink::add_row(const ResultRow& row, std::uint64_t seed,
+                         std::string label, std::string extra) {
+  SweepTask task;  // rate-mode wrapper so the mapping lives in one place
+  task.spec.seed = seed;
+  add(task, TaskResult(row), std::move(label), std::move(extra));
+}
+
+std::string ResultSink::csv() const {
+  std::string out;
+  const auto& cols = columns();
+  for (std::size_t i = 0; i < cols.size(); ++i) {
+    if (i) out += ',';
+    out += cols[i];
+  }
+  out += '\n';
+  for (const ResultRecord& rec : records_) {
+    const auto fields = record_fields(rec);
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+      if (i) out += ',';
+      out += csv_escape(fields[i]);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string ResultSink::json() const {
+  const auto& cols = columns();
+  std::string out = "[";
+  for (std::size_t r = 0; r < records_.size(); ++r) {
+    out += r ? ",\n " : "\n ";
+    const auto fields = record_fields(records_[r]);
+    out += '{';
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+      if (i) out += ',';
+      out += '"';
+      out += cols[i];
+      out += "\":";
+      if (cols[i] == "series") {
+        out += '[';
+        const auto& series = records_[r].series;
+        for (std::size_t b = 0; b < series.size(); ++b) {
+          if (b) out += ',';
+          out += fmt_i64(series[b]);
+        }
+        out += ']';
+      } else if (cols[i] == "drained") {
+        out += records_[r].drained ? "true" : "false";
+      } else if (is_string_column(i)) {
+        out += '"';
+        out += json_escape(fields[i]);
+        out += '"';
+      } else {
+        out += fields[i];
+      }
+    }
+    out += '}';
+  }
+  out += "\n]\n";
+  return out;
+}
+
+bool ResultSink::write_csv(const std::string& path) const {
+  return write_file(path, csv());
+}
+
+bool ResultSink::write_json(const std::string& path) const {
+  return write_file(path, json());
+}
+
+std::vector<ResultRecord> ResultSink::parse_csv(const std::string& text) {
+  const auto rows = csv_rows(text);
+  HXSP_CHECK_MSG(!rows.empty(), "CSV input has no header");
+  HXSP_CHECK_MSG(rows.front() == columns(),
+                 "CSV header does not match the shared result schema");
+  std::vector<ResultRecord> records;
+  records.reserve(rows.size() - 1);
+  for (std::size_t i = 1; i < rows.size(); ++i)
+    records.push_back(record_from_fields(rows[i]));
+  return records;
+}
+
+std::vector<ResultRecord> ResultSink::parse_json(const std::string& text) {
+  JsonParser parser(text);
+  const auto objects = parser.parse();
+  const auto& cols = columns();
+  std::vector<ResultRecord> records;
+  records.reserve(objects.size());
+  for (const auto& obj : objects) {
+    std::vector<std::string> fields(cols.size());
+    HXSP_CHECK_MSG(obj.size() == cols.size(),
+                   "JSON record does not match the shared result schema");
+    for (const auto& [key, value] : obj) {
+      std::size_t col = cols.size();
+      for (std::size_t i = 0; i < cols.size(); ++i)
+        if (cols[i] == key) { col = i; break; }
+      HXSP_CHECK_MSG(col < cols.size(), "unknown key in JSON record");
+      fields[col] = value;
+    }
+    // JSON booleans arrive as true/false; record_from_fields handles both.
+    records.push_back(record_from_fields(fields));
+  }
+  return records;
+}
+
+} // namespace hxsp

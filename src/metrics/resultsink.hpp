@@ -1,0 +1,122 @@
+#pragma once
+/// \file resultsink.hpp
+/// Uniform persistence of sweep results.
+///
+/// Every bench driver used to dump its own ad-hoc table; plotting the
+/// paper's figures (and trusting the fault-tolerance numbers) needs one
+/// schema shared by all of them. A ResultSink collects ResultRecords —
+/// one per simulation of any kind (rate, completion, dynamic) or per
+/// pure-graph measurement — and serializes them as CSV or JSON with a
+/// fixed column set: driver identity, configuration (mechanism, pattern,
+/// offered load, seed), the scalar metrics of ResultRow, the mode
+/// specific scalars (dropped, drained, completion_time) and an optional
+/// time series of bucketed consumed phits. Driver-specific context that
+/// does not fit the shared columns goes into the free-form `label` and
+/// `extra` columns, so the column set itself never varies by driver.
+///
+/// Both formats parse back (parse_csv / parse_json) into bit-identical
+/// records: doubles are printed with 17 significant digits, so a
+/// write -> parse round trip is lossless and the persisted artefacts
+/// inherit the sweep engine's determinism guarantee.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "harness/sweep.hpp"
+
+namespace hxsp {
+
+/// One persisted result in the shared schema. Fields that do not apply
+/// to a record's kind keep their zero defaults.
+struct ResultRecord {
+  std::string driver;        ///< emitting bench driver, e.g. "fig10_completion"
+  std::string kind = "rate"; ///< rate | completion | dynamic | graph | info
+  std::string label;         ///< driver context, e.g. a shape or root name
+  std::string mechanism;     ///< display name, e.g. "PolSP" ("" when n/a)
+  std::string pattern;       ///< traffic pattern ("" when n/a)
+  double offered = 0;        ///< requested injection load (0 when n/a)
+  std::uint64_t seed = 0;    ///< spec seed the run derived its streams from
+
+  // Scalar metrics (ResultRow's fields; zero when the kind has none).
+  double generated = 0;
+  double accepted = 0;
+  double avg_latency = 0;
+  double jain = 0;
+  double escape_frac = 0;
+  double forced_frac = 0;
+  std::int64_t p99_latency = 0;
+  std::int64_t cycles = 0;
+  std::int64_t packets = 0;
+
+  // Mode-specific scalars.
+  std::int64_t num_servers = 0;     ///< for normalising series to rates
+  std::int64_t dropped = 0;         ///< dynamic: packets lost on dead wires
+  bool drained = false;             ///< completion: finished before deadline
+  std::int64_t completion_time = 0; ///< completion: cycle of last consumption
+
+  // Optional time series (consumed phits per bucket; empty when n/a).
+  std::int64_t series_width = 0;    ///< bucket width in cycles
+  std::vector<std::int64_t> series; ///< bucket sums
+
+  std::string extra; ///< free-form "key=value;key=value" driver payload
+};
+
+bool operator==(const ResultRecord& a, const ResultRecord& b);
+inline bool operator!=(const ResultRecord& a, const ResultRecord& b) {
+  return !(a == b);
+}
+
+/// Collects ResultRecords for one driver and serializes them. The CSV
+/// and JSON carry exactly the same records; parse_csv/parse_json invert
+/// csv()/json() losslessly.
+class ResultSink {
+ public:
+  explicit ResultSink(std::string driver);
+
+  /// The fixed column set, in serialization order — identical for every
+  /// driver and record kind.
+  static const std::vector<std::string>& columns();
+
+  /// Appends a fully-specified record; rec.driver is overwritten with
+  /// this sink's driver name so one driver cannot impersonate another.
+  void add(ResultRecord rec);
+
+  /// Appends a task/result pair, mapping it onto the shared schema:
+  /// kind/mechanism/pattern/offered/seed and the scalars come from the
+  /// task and its result, \p label and \p extra carry driver context.
+  void add(const SweepTask& task, const TaskResult& result,
+           std::string label = "", std::string extra = "");
+
+  /// Appends a bare rate row (for drivers with a ResultRow but no task).
+  void add_row(const ResultRow& row, std::uint64_t seed,
+               std::string label = "", std::string extra = "");
+
+  std::size_t size() const { return records_.size(); }
+  const std::vector<ResultRecord>& records() const { return records_; }
+  const std::string& driver() const { return driver_; }
+
+  /// Renders all records as CSV (header + one line per record).
+  std::string csv() const;
+
+  /// Renders all records as a JSON array of flat objects.
+  std::string json() const;
+
+  /// Writes csv()/json() to \p path. Returns false on I/O error.
+  bool write_csv(const std::string& path) const;
+  bool write_json(const std::string& path) const;
+
+  /// Inverse of csv(): parses header + rows back into records. Aborts
+  /// (HXSP_CHECK) on input that does not match the shared schema.
+  static std::vector<ResultRecord> parse_csv(const std::string& text);
+
+  /// Inverse of json(). Handles the subset of JSON json() emits (flat
+  /// objects of strings / numbers / booleans / integer arrays).
+  static std::vector<ResultRecord> parse_json(const std::string& text);
+
+ private:
+  std::string driver_;
+  std::vector<ResultRecord> records_;
+};
+
+} // namespace hxsp

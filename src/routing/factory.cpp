@@ -10,7 +10,26 @@
 
 namespace hxsp {
 
-std::unique_ptr<RoutingMechanism> make_mechanism(const std::string& name) {
+std::unique_ptr<RoutingMechanism> make_mechanism(const std::string& full_name) {
+  // Optional "@policy" suffix on the SurePath names: overrides the CRout
+  // VC discipline so policy ablations are expressible as plain spec
+  // mechanism strings ("omnisp@rung", "polsp@free", ...).
+  std::string name = full_name;
+  CRoutVcPolicy policy_override = CRoutVcPolicy::Auto;
+  bool has_override = false;
+  const std::size_t at = full_name.find('@');
+  if (at != std::string::npos) {
+    name = full_name.substr(0, at);
+    const std::string p = full_name.substr(at + 1);
+    has_override = true;
+    if (p == "free") policy_override = CRoutVcPolicy::Free;
+    else if (p == "monotone") policy_override = CRoutVcPolicy::Monotone;
+    else if (p == "rung") policy_override = CRoutVcPolicy::Rung;
+    else if (p == "auto") policy_override = CRoutVcPolicy::Auto;
+    else HXSP_CHECK_MSG(false, ("unknown CRout VC policy: " + p).c_str());
+    HXSP_CHECK_MSG(name == "omnisp" || name == "polsp",
+                   "@policy suffix only applies to SurePath mechanisms");
+  }
   if (name == "minimal")
     return std::make_unique<LadderMechanism>(std::make_unique<MinimalAlgorithm>(),
                                              2, "Minimal");
@@ -34,10 +53,11 @@ std::unique_ptr<RoutingMechanism> make_mechanism(const std::string& name) {
   if (name == "omnisp")
     return std::make_unique<SurePathMechanism>(
         std::make_unique<OmnidimensionalAlgorithm>(), "OmniSP",
-        CRoutVcPolicy::Free);
+        has_override ? policy_override : CRoutVcPolicy::Free);
   if (name == "polsp")
-    return std::make_unique<SurePathMechanism>(std::make_unique<PolarizedAlgorithm>(),
-                                               "PolSP", CRoutVcPolicy::Auto);
+    return std::make_unique<SurePathMechanism>(
+        std::make_unique<PolarizedAlgorithm>(), "PolSP",
+        has_override ? policy_override : CRoutVcPolicy::Auto);
   HXSP_CHECK_MSG(false, ("unknown routing mechanism: " + name).c_str());
   return nullptr;
 }

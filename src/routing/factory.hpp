@@ -19,6 +19,9 @@ namespace hxsp {
 ///   polarized — Polarized + ladder
 ///   omnisp    — SurePath over Omnidimensional routes
 ///   polsp     — SurePath over Polarized routes
+/// The SurePath names accept an "@policy" suffix that overrides the CRout
+/// VC discipline (free | monotone | rung | auto), e.g. "polsp@free"; the
+/// crout-policy ablation sweeps these as ordinary spec mechanisms.
 std::unique_ptr<RoutingMechanism> make_mechanism(const std::string& name);
 
 /// All mechanism names accepted by make_mechanism.

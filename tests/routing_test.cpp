@@ -311,5 +311,21 @@ TEST(Factory, AllMechanismsConstructWithPaperNames) {
   EXPECT_EQ(mechanism_names().size(), 7u);
 }
 
+TEST(Factory, PolicySuffixSelectsCRoutDiscipline) {
+  // The "@policy" suffix builds SurePath with an overridden CRout VC
+  // discipline (the crout-policy ablation sweeps these); display name and
+  // escape requirement are unchanged.
+  for (const char* name :
+       {"omnisp@free", "omnisp@monotone", "omnisp@rung", "omnisp@auto"}) {
+    auto m = make_mechanism(name);
+    ASSERT_NE(m, nullptr) << name;
+    EXPECT_EQ(m->name(), "OmniSP") << name;
+    EXPECT_TRUE(m->needs_escape()) << name;
+  }
+  auto p = make_mechanism("polsp@free");
+  EXPECT_EQ(p->name(), "PolSP");
+  EXPECT_TRUE(p->needs_escape());
+}
+
 } // namespace
 } // namespace hxsp
