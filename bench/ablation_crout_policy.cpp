@@ -7,11 +7,13 @@
 ///
 /// Every (base, policy) combination is an ordinary spec mechanism thanks
 /// to the factory's "@policy" suffix ("omnisp@rung", "polsp@free", ...),
-/// so the grid fans across a ParallelSweep pool (--jobs=N); output is
-/// bit-identical at any worker count.
+/// so the grid is a plain TaskGrid: run in-process (--jobs=N,
+/// bit-identical at any worker count), emitted (--emit-tasks) or sliced
+/// (--shard=i/n).
 ///
 /// Usage: ablation_crout_policy [--paper] [--csv[=file]] [--json[=file]]
-///                              [--seed=N] [--jobs=N]
+///                              [--seed=N] [--jobs=N] [--shard=i/n]
+///                              [--emit-tasks[=file]]
 
 #include "bench_util.hpp"
 
@@ -22,40 +24,42 @@ int main(int argc, char** argv) {
   const bool paper = opt.get_bool("paper", false);
   ExperimentSpec base = spec_from_options(opt, 2);
   bench::quick_cycles(opt, paper, base);
-  const int jobs = bench::common_options(opt);
-  opt.warn_unknown();
-
-  bench::banner("Ablation — SurePath CRout VC policy x base routing "
-                "(saturation, uniform)",
-                base);
+  const bench::CommonOptions common(opt);
 
   struct Cell {
     const char* base;
     const char* policy;
   };
-  std::vector<SweepPoint> points;
+  TaskGrid grid("ablation_crout_policy");
   std::vector<Cell> cells;
   for (const Cell proto : {Cell{"omnisp", nullptr}, Cell{"polsp", nullptr}}) {
     for (const char* policy : {"free", "monotone", "rung"}) {
       ExperimentSpec s = base;
       s.mechanism = std::string(proto.base) + "@" + policy;
       s.pattern = "uniform";
-      points.push_back({s, 1.0});
+      TaskSpec task = TaskSpec::rate(s, 1.0);
+      task.label = policy;
+      task.extra = std::string("policy=") + policy;
+      grid.add(std::move(task));
       cells.push_back({proto.base, policy});
     }
   }
+  if (bench::maybe_emit_tasks(common, grid)) return 0;
+
+  bench::banner("Ablation — SurePath CRout VC policy x base routing "
+                "(saturation, uniform)",
+                base);
 
   Table t({"base", "policy", "accepted", "generated", "escape_frac"});
   ResultSink sink("ablation_crout_policy");
-  ParallelSweep sweep(jobs);
-  sweep.run(points, [&](std::size_t i, const ResultRow& r) {
-    const Cell& c = cells[i];
+  bench::run_grid(grid, common, sink,
+                  [&](std::size_t gi, const TaskSpec&, const TaskResult& result) {
+    const Cell& c = cells[gi];
+    const ResultRow& r = *task_result_row(result);
     std::printf("base=%-7s policy=%-9s acc=%.3f gen=%.3f esc=%.3f\n", c.base,
                 c.policy, r.accepted, r.generated, r.escape_frac);
     t.row().cell(c.base).cell(c.policy).cell(r.accepted, 4)
         .cell(r.generated, 4).cell(r.escape_frac, 4);
-    sink.add_row(r, points[i].spec.seed, c.policy,
-                 std::string("policy=") + c.policy);
     std::fflush(stdout);
   });
   std::printf("\nShipped defaults: OmniSP = free, PolSP = rung (the best cell\n"

@@ -8,11 +8,13 @@
 /// quantifies the difference — it is the reproduction's most significant
 /// deviation note.
 ///
-/// The (mode, mechanism, load) grid is fanned across a ParallelSweep pool
-/// (--jobs=N); output is bit-identical at any worker count.
+/// The (mode, mechanism, load) grid is a TaskGrid: run in-process
+/// (--jobs=N, bit-identical at any worker count), emitted (--emit-tasks)
+/// or sliced (--shard=i/n).
 ///
 /// Usage: ablation_escape_mode [--paper] [--csv[=file]] [--json[=file]]
-///                             [--seed=N] [--jobs=N]
+///                             [--seed=N] [--jobs=N] [--shard=i/n]
+///                             [--emit-tasks[=file]]
 
 #include "bench_util.hpp"
 
@@ -23,18 +25,10 @@ int main(int argc, char** argv) {
   const bool paper = opt.get_bool("paper", false);
   ExperimentSpec base = spec_from_options(opt, 2);
   bench::quick_cycles(opt, paper, base);
-  const int jobs = bench::common_options(opt);
-  opt.warn_unknown();
+  const bench::CommonOptions common(opt);
 
-  bench::banner("Ablation — escape candidate rule: memoryless table (paper) "
-                "vs strict up*/down* phases (default)",
-                base);
-
-  struct Cell {
-    bool strict;
-  };
-  std::vector<SweepPoint> points;
-  std::vector<Cell> cells;
+  TaskGrid grid("ablation_escape_mode");
+  std::vector<bool> cells;  // strict flag per grid task
   for (bool strict : {true, false}) {
     for (const auto& mech : bench::surepath_mechanisms()) {
       ExperimentSpec s = base;
@@ -42,22 +36,29 @@ int main(int argc, char** argv) {
       s.pattern = "uniform";
       s.escape_strict_phase = strict;
       for (double load : {0.6, 0.9, 1.0}) {
-        points.push_back({s, load});
-        cells.push_back({strict});
+        TaskSpec task = TaskSpec::rate(s, load);
+        task.label = strict ? "strict" : "memoryless";
+        grid.add(std::move(task));
+        cells.push_back(strict);
       }
     }
   }
+  if (bench::maybe_emit_tasks(common, grid)) return 0;
+
+  bench::banner("Ablation — escape candidate rule: memoryless table (paper) "
+                "vs strict up*/down* phases (default)",
+                base);
 
   Table t({"mode", "mechanism", "offered", "accepted", "escape_frac"});
   ResultSink sink("ablation_escape_mode");
-  ParallelSweep sweep(jobs);
-  sweep.run(points, [&](std::size_t i, const ResultRow& r) {
-    const char* mode = cells[i].strict ? "strict" : "memoryless";
+  bench::run_grid(grid, common, sink,
+                  [&](std::size_t gi, const TaskSpec&, const TaskResult& result) {
+    const char* mode = cells[gi] ? "strict" : "memoryless";
+    const ResultRow& r = *task_result_row(result);
     std::printf("%-10s %-8s offered=%.1f acc=%.3f esc=%.3f\n", mode,
                 r.mechanism.c_str(), r.offered, r.accepted, r.escape_frac);
     t.row().cell(mode).cell(r.mechanism).cell(r.offered, 2)
         .cell(r.accepted, 4).cell(r.escape_frac, 4);
-    sink.add_row(r, points[i].spec.seed, mode);
     std::fflush(stdout);
   });
   std::printf("\nExpectation: identical below saturation; at saturation the\n"

@@ -6,11 +6,13 @@
 /// penalty vector (112/96/80/64/48) by several factors and measures
 /// saturation throughput, fault-free and under a Cross fault.
 ///
-/// The (scale, mechanism, scenario) grid is fanned across a ParallelSweep
-/// pool (--jobs=N); output is bit-identical at any worker count.
+/// The (scale, mechanism, scenario) grid is a TaskGrid: run in-process
+/// (--jobs=N, bit-identical at any worker count), emitted (--emit-tasks)
+/// or sliced (--shard=i/n).
 ///
 /// Usage: ablation_penalties [--paper] [--csv[=file]] [--json[=file]]
-///                           [--seed=N] [--jobs=N]
+///                           [--seed=N] [--jobs=N] [--shard=i/n]
+///                           [--emit-tasks[=file]]
 
 #include "bench_util.hpp"
 #include "topology/faults.hpp"
@@ -22,24 +24,18 @@ int main(int argc, char** argv) {
   const bool paper = opt.get_bool("paper", false);
   ExperimentSpec base = spec_from_options(opt, 2);
   bench::quick_cycles(opt, paper, base);
-  const int jobs = bench::common_options(opt);
-  opt.warn_unknown();
+  const bench::CommonOptions common(opt);
 
   const int side = base.sides[0];
-  HyperX scratch(base.sides,
-                 base.servers_per_switch < 0 ? side : base.servers_per_switch);
+  HyperX scratch(base.sides, base.resolved_servers_per_switch());
   const SwitchId center = scratch.switch_at({side / 3, side / 3});
   const ShapeFault cross = star_fault(scratch, center, std::max(3, side * 11 / 16));
-
-  bench::banner("Ablation — escape penalty scaling (paper: 'large regions of "
-                "similar performance')",
-                base);
 
   struct Cell {
     double scale;
     bool faulty;
   };
-  std::vector<SweepPoint> points;
+  TaskGrid grid("ablation_penalties");
   std::vector<Cell> cells;
   for (double scale : {0.25, 0.5, 1.0, 2.0, 4.0}) {
     EscapePenalties pen;
@@ -58,24 +54,31 @@ int main(int argc, char** argv) {
           s.fault_links = cross.links;
           s.escape_root = center;
         }
-        points.push_back({s, 1.0});
+        TaskSpec task = TaskSpec::rate(s, 1.0);
+        task.label = faulty ? "cross-fault" : "fault-free";
+        task.extra = "scale=" + format_double(scale, 2);
+        grid.add(std::move(task));
         cells.push_back({scale, faulty != 0});
       }
     }
   }
+  if (bench::maybe_emit_tasks(common, grid)) return 0;
+
+  bench::banner("Ablation — escape penalty scaling (paper: 'large regions of "
+                "similar performance')",
+                base);
 
   Table t({"scale", "mechanism", "scenario", "accepted", "escape_frac"});
   ResultSink sink("ablation_penalties");
-  ParallelSweep sweep(jobs);
-  sweep.run(points, [&](std::size_t i, const ResultRow& r) {
-    const Cell& c = cells[i];
+  bench::run_grid(grid, common, sink,
+                  [&](std::size_t gi, const TaskSpec&, const TaskResult& result) {
+    const Cell& c = cells[gi];
+    const ResultRow& r = *task_result_row(result);
     const char* scenario = c.faulty ? "cross-fault" : "fault-free";
     std::printf("scale=%.2f %-8s %-11s acc=%.3f esc=%.3f\n", c.scale,
                 r.mechanism.c_str(), scenario, r.accepted, r.escape_frac);
     t.row().cell(format_double(c.scale, 2)).cell(r.mechanism).cell(scenario)
         .cell(r.accepted, 4).cell(r.escape_frac, 4);
-    sink.add_row(r, points[i].spec.seed, scenario,
-                 "scale=" + format_double(c.scale, 2));
     std::fflush(stdout);
   });
   bench::persist(opt, sink, "ablation_penalties");

@@ -5,11 +5,13 @@
 /// faulted Star center (the paper's stress setup), adjacent to it, and in
 /// the opposite corner of the network.
 ///
-/// The (root, mechanism, pattern) grid is fanned across a ParallelSweep
-/// pool (--jobs=N); output is bit-identical at any worker count.
+/// The (root, mechanism, pattern) grid is a TaskGrid: run in-process
+/// (--jobs=N, bit-identical at any worker count), emitted (--emit-tasks)
+/// or sliced (--shard=i/n).
 ///
 /// Usage: ablation_root [--paper] [--csv[=file]] [--json[=file]]
-///                      [--seed=N] [--jobs=N]
+///                      [--seed=N] [--jobs=N] [--shard=i/n]
+///                      [--emit-tasks[=file]]
 
 #include "bench_util.hpp"
 #include "topology/faults.hpp"
@@ -22,12 +24,10 @@ int main(int argc, char** argv) {
   ExperimentSpec base = spec_from_options(opt, 3);
   bench::quick_cycles(opt, paper, base);
   base.sim.num_vcs = static_cast<int>(opt.get_int("vcs", 4));
-  const int jobs = bench::common_options(opt);
-  opt.warn_unknown();
+  const bench::CommonOptions common(opt);
 
   const int side = base.sides[0];
-  HyperX scratch(base.sides,
-                 base.servers_per_switch < 0 ? side : base.servers_per_switch);
+  HyperX scratch(base.sides, base.resolved_servers_per_switch());
   const SwitchId center = scratch.switch_at(std::vector<int>(3, side / 2));
   const ShapeFault star = star_fault(scratch, center, std::max(2, side - 1));
 
@@ -43,13 +43,11 @@ int main(int argc, char** argv) {
       {"far-corner", scratch.switch_at({0, 0, 0})},
   };
 
-  bench::banner("Ablation — escape root placement under Star faults", base);
-
   struct Cell {
     std::size_t root;
     std::string pattern;
   };
-  std::vector<SweepPoint> points;
+  TaskGrid grid("ablation_root");
   std::vector<Cell> cells;
   for (std::size_t ri = 0; ri < roots.size(); ++ri) {
     for (const auto& mech : bench::surepath_mechanisms()) {
@@ -59,25 +57,30 @@ int main(int argc, char** argv) {
         s.pattern = pattern;
         s.fault_links = star.links;
         s.escape_root = roots[ri].root;
-        points.push_back({s, 1.0});
+        TaskSpec task = TaskSpec::rate(s, 1.0);
+        task.label = roots[ri].name;
+        task.extra = "root_switch=" + std::to_string(roots[ri].root);
+        grid.add(std::move(task));
         cells.push_back({ri, pattern});
       }
     }
   }
+  if (bench::maybe_emit_tasks(common, grid)) return 0;
+
+  bench::banner("Ablation — escape root placement under Star faults", base);
 
   Table t({"root", "mechanism", "pattern", "accepted", "escape_frac"});
   ResultSink sink("ablation_root");
-  ParallelSweep sweep(jobs);
-  sweep.run(points, [&](std::size_t i, const ResultRow& r) {
-    const Cell& c = cells[i];
+  bench::run_grid(grid, common, sink,
+                  [&](std::size_t gi, const TaskSpec&, const TaskResult& result) {
+    const Cell& c = cells[gi];
     const RootChoice& rc = roots[c.root];
+    const ResultRow& r = *task_result_row(result);
     std::printf("root=%-12s %-8s %-8s acc=%.3f esc=%.3f\n", rc.name,
                 r.mechanism.c_str(), c.pattern.c_str(), r.accepted,
                 r.escape_frac);
     t.row().cell(rc.name).cell(r.mechanism).cell(c.pattern)
         .cell(r.accepted, 4).cell(r.escape_frac, 4);
-    sink.add_row(r, points[i].spec.seed, rc.name,
-                 "root_switch=" + std::to_string(rc.root));
     std::fflush(stdout);
   });
   std::printf("\nExpectation: moving the root away from the heavily faulted\n"

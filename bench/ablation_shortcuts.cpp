@@ -5,12 +5,13 @@
 /// horizontal shortcuts is what lets the escape carry real load (one of
 /// the paper's original contributions). This bench compares both escapes.
 ///
-/// The (shortcuts, mechanism, scenario) grid is fanned across a
-/// ParallelSweep pool (--jobs=N); output is bit-identical at any worker
-/// count.
+/// The (shortcuts, mechanism, scenario) grid is a TaskGrid: run
+/// in-process (--jobs=N, bit-identical at any worker count), emitted
+/// (--emit-tasks) or sliced (--shard=i/n).
 ///
 /// Usage: ablation_shortcuts [--paper] [--csv[=file]] [--json[=file]]
-///                           [--seed=N] [--jobs=N]
+///                           [--seed=N] [--jobs=N] [--shard=i/n]
+///                           [--emit-tasks[=file]]
 
 #include "bench_util.hpp"
 #include "topology/faults.hpp"
@@ -23,23 +24,18 @@ int main(int argc, char** argv) {
   ExperimentSpec base = spec_from_options(opt, 2);
   bench::quick_cycles(opt, paper, base);
   base.sim.num_vcs = static_cast<int>(opt.get_int("vcs", 4));
-  const int jobs = bench::common_options(opt);
-  opt.warn_unknown();
+  const bench::CommonOptions common(opt);
 
   const int side = base.sides[0];
-  HyperX scratch(base.sides,
-                 base.servers_per_switch < 0 ? side : base.servers_per_switch);
+  HyperX scratch(base.sides, base.resolved_servers_per_switch());
   const SwitchId center = scratch.switch_at({side / 3, side / 3});
   const ShapeFault cross = star_fault(scratch, center, std::max(3, side * 11 / 16));
-
-  bench::banner("Ablation — escape with vs without opportunistic shortcuts",
-                base);
 
   struct Cell {
     bool shortcuts;
     bool faulty;
   };
-  std::vector<SweepPoint> points;
+  TaskGrid grid("ablation_shortcuts");
   std::vector<Cell> cells;
   for (bool shortcuts : {true, false}) {
     for (const auto& mech : bench::surepath_mechanisms()) {
@@ -52,26 +48,32 @@ int main(int argc, char** argv) {
           s.fault_links = cross.links;
           s.escape_root = center;
         }
-        points.push_back({s, 1.0});
+        TaskSpec task = TaskSpec::rate(s, 1.0);
+        task.label = faulty ? "cross-fault" : "fault-free";
+        task.extra = std::string("shortcuts=") + (shortcuts ? "on" : "off");
+        grid.add(std::move(task));
         cells.push_back({shortcuts, faulty != 0});
       }
     }
   }
+  if (bench::maybe_emit_tasks(common, grid)) return 0;
+
+  bench::banner("Ablation — escape with vs without opportunistic shortcuts",
+                base);
 
   Table t({"shortcuts", "mechanism", "scenario", "accepted", "escape_frac",
            "forced_frac"});
   ResultSink sink("ablation_shortcuts");
-  ParallelSweep sweep(jobs);
-  sweep.run(points, [&](std::size_t i, const ResultRow& r) {
-    const Cell& c = cells[i];
+  bench::run_grid(grid, common, sink,
+                  [&](std::size_t gi, const TaskSpec&, const TaskResult& result) {
+    const Cell& c = cells[gi];
+    const ResultRow& r = *task_result_row(result);
     const char* scenario = c.faulty ? "cross-fault" : "fault-free";
     std::printf("shortcuts=%d %-8s %-11s acc=%.3f esc=%.3f forced=%.4f\n",
                 static_cast<int>(c.shortcuts), r.mechanism.c_str(), scenario,
                 r.accepted, r.escape_frac, r.forced_frac);
     t.row().cell(c.shortcuts ? "on" : "off").cell(r.mechanism).cell(scenario)
         .cell(r.accepted, 4).cell(r.escape_frac, 4).cell(r.forced_frac, 4);
-    sink.add_row(r, points[i].spec.seed, scenario,
-                 std::string("shortcuts=") + (c.shortcuts ? "on" : "off"));
     std::fflush(stdout);
   });
   std::printf("\nExpectation: disabling shortcuts hurts most under faults,\n"

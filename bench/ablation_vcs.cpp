@@ -5,11 +5,12 @@
 /// (§3.1.2, §6). This bench sweeps the VC count for OmniSP/PolSP and the
 /// ladder baselines on the 3D topology.
 ///
-/// Runs are fanned across a ParallelSweep pool (--jobs=N, default
-/// hardware concurrency); output is bit-identical at any worker count.
+/// The (vcs, mechanism, pattern) grid is a TaskGrid: run in-process
+/// (--jobs=N, default hardware concurrency, bit-identical at any worker
+/// count), emitted (--emit-tasks) or sliced (--shard=i/n).
 ///
 /// Usage: ablation_vcs [--paper] [--csv[=file]] [--json[=file]] [--seed=N]
-///                     [--jobs=N]
+///                     [--jobs=N] [--shard=i/n] [--emit-tasks[=file]]
 
 #include "bench_util.hpp"
 
@@ -20,22 +21,14 @@ int main(int argc, char** argv) {
   const bool paper = opt.get_bool("paper", false);
   ExperimentSpec base = spec_from_options(opt, 3);
   bench::quick_cycles(opt, paper, base);
-  const int jobs = bench::common_options(opt);
-  opt.warn_unknown();
+  const bench::CommonOptions common(opt);
 
-  bench::banner("Ablation — VC budget: SurePath works from 2 VCs; ladders "
-                "need 2n",
-                base);
-
-  Table t({"vcs", "mechanism", "pattern", "accepted", "escape_frac"});
-
-  // Every (vcs, mechanism, pattern) cell is independent: fan the grid
-  // across the sweep pool, results delivered in submission order.
+  // Every (vcs, mechanism, pattern) cell is independent.
   struct Cell {
     int vcs;
     std::string pattern;
   };
-  std::vector<SweepPoint> points;
+  TaskGrid grid("ablation_vcs");
   std::vector<Cell> cells;
   for (int vcs : {2, 3, 4, 6}) {
     for (const auto& mech :
@@ -49,23 +42,30 @@ int main(int argc, char** argv) {
         s.sim.num_vcs = vcs;
         s.mechanism = mech;
         s.pattern = pattern;
-        points.push_back({s, 1.0});
+        TaskSpec task = TaskSpec::rate(s, 1.0);
+        task.extra = "vcs=" + std::to_string(vcs);
+        grid.add(std::move(task));
         cells.push_back({vcs, pattern});
       }
     }
   }
+  if (bench::maybe_emit_tasks(common, grid)) return 0;
 
+  bench::banner("Ablation — VC budget: SurePath works from 2 VCs; ladders "
+                "need 2n",
+                base);
+
+  Table t({"vcs", "mechanism", "pattern", "accepted", "escape_frac"});
   ResultSink sink("ablation_vcs");
-  ParallelSweep sweep(jobs);
-  sweep.run(points, [&](std::size_t i, const ResultRow& r) {
-    const Cell& c = cells[i];
+  bench::run_grid(grid, common, sink,
+                  [&](std::size_t gi, const TaskSpec&, const TaskResult& result) {
+    const Cell& c = cells[gi];
+    const ResultRow& r = *task_result_row(result);
     std::printf("vcs=%d %-10s %-8s acc=%.3f esc=%.3f\n", c.vcs,
                 r.mechanism.c_str(), c.pattern.c_str(), r.accepted,
                 r.escape_frac);
     t.row().cell(static_cast<long>(c.vcs)).cell(r.mechanism).cell(c.pattern)
         .cell(r.accepted, 4).cell(r.escape_frac, 4);
-    sink.add_row(r, points[i].spec.seed, "",
-                 "vcs=" + std::to_string(c.vcs));
     std::fflush(stdout);
   });
   std::printf("\nExpectation: OmniSP/PolSP at 4 VCs match or beat the 6-VC\n"

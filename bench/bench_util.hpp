@@ -1,19 +1,26 @@
 #pragma once
 /// \file bench_util.hpp
-/// Shared plumbing for the figure/table reproduction benches: standard
-/// header banner, uniform result persistence (--csv/--json through
-/// ResultSink), and the mechanism/pattern grids the paper's evaluation
-/// sweeps over.
+/// Shared plumbing for the figure/table reproduction benches: the common
+/// CLI option block (CommonOptions), standard header banner, uniform
+/// result persistence (--csv/--json through ResultSink), the TaskGrid
+/// emit/shard/run plumbing every simulation driver routes through, and
+/// the mechanism/pattern grids the paper's evaluation sweeps over.
 ///
-/// Option-handling contract every driver follows: read *all* options
-/// first (spec_from_options, driver-specific keys, then common_options),
-/// call opt.warn_unknown() before any long-running work so typo'd flags
-/// are reported up front, then print the banner and run.
+/// Option-handling contract every driver follows: read *all*
+/// driver-specific options first (spec_from_options, custom keys), then
+/// construct CommonOptions — it registers the shared keys and calls
+/// warn_unknown(), so typo'd flags are reported before any long-running
+/// work. Build the TaskGrid next and check maybe_emit_tasks() BEFORE
+/// printing anything: --emit-tasks without a file writes the manifest to
+/// stdout, which must stay pure JSON for piping into hxsp_runner.
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "harness/grid.hpp"
+#include "util/fileio.hpp"
 #include "harness/presets.hpp"
 #include "harness/sweep.hpp"
 #include "metrics/resultsink.hpp"
@@ -23,19 +30,91 @@
 
 namespace hxsp::bench {
 
-/// Worker count for ParallelSweep-based drivers: --jobs=N, default 0
-/// (hardware concurrency); --jobs=1 recovers the old serial behaviour.
-inline int sweep_jobs(const Options& opt) {
-  return static_cast<int>(opt.get_int("jobs", 0));
+/// The option block shared by every driver and example: --jobs=N worker
+/// count (0 = hardware concurrency, 1 = serial), --shard=i/n grid slice,
+/// --emit-tasks[=file] manifest emission, plus registration of the
+/// --csv/--json/--seed keys so warn_unknown() (called here, last) knows
+/// them. Construct AFTER all driver-specific option reads.
+struct CommonOptions {
+  int jobs = 0;
+  ShardSpec shard;
+  bool emit_tasks = false;
+  std::string emit_path;  ///< "" = stdout
+
+  explicit CommonOptions(const Options& opt) {
+    opt.has("csv");
+    opt.has("json");
+    opt.has("seed");
+    jobs = static_cast<int>(opt.get_int("jobs", 0));
+    shard = ShardSpec::parse(opt.get("shard", "0/1"));
+    emit_tasks = opt.has("emit-tasks");
+    emit_path = opt.get("emit-tasks", "");
+    if (emit_path == "1") emit_path.clear();  // bare flag / --emit-tasks=1
+    opt.warn_unknown();
+  }
+};
+
+/// Honours --emit-tasks: writes \p grid's manifest (to stdout when no
+/// file was given — keep stdout clean until this check!) and returns
+/// true, meaning the driver must exit without simulating. A failed
+/// manifest write exits the process non-zero so `driver --emit-tasks=F
+/// && hxsp_runner F` pipelines cannot proceed on a stale or missing
+/// manifest.
+inline bool maybe_emit_tasks(const CommonOptions& common, const TaskGrid& grid) {
+  if (!common.emit_tasks) return false;
+  const std::string manifest = grid.manifest_json();
+  if (common.emit_path.empty()) {
+    const std::size_t n =
+        std::fwrite(manifest.data(), 1, manifest.size(), stdout);
+    if (n != manifest.size() || std::fflush(stdout) != 0) {
+      std::fprintf(stderr, "could not write manifest to stdout\n");
+      std::exit(1);
+    }
+  } else if (write_whole_file(common.emit_path, manifest)) {
+    std::printf("(wrote %s: %zu tasks)\n", common.emit_path.c_str(),
+                grid.size());
+  } else {
+    std::fprintf(stderr, "could not write %s\n", common.emit_path.c_str());
+    std::exit(1);
+  }
+  return true;
 }
 
-/// Registers the option keys every driver shares (--jobs, --csv, --json)
-/// so warn_unknown() can run before the sweep starts; returns the worker
-/// count. Call after all driver-specific option reads.
-inline int common_options(const Options& opt) {
-  opt.has("csv");
-  opt.has("json");
-  return sweep_jobs(opt);
+/// Prints a notice when distribution flags were given to a program with
+/// no task grid to distribute (the examples): the flags parse everywhere
+/// for CLI uniformity, but silently ignoring them would hide a typo'd
+/// intent.
+inline void warn_unused_distribution(const CommonOptions& common,
+                                     const char* what) {
+  if (common.emit_tasks || !common.shard.is_full())
+    std::fprintf(stderr,
+                 "note: --emit-tasks/--shard have no effect in %s "
+                 "(single-run example)\n",
+                 what);
+}
+
+/// Runs the --shard slice of \p grid through a ParallelSweep, appending
+/// every (task, result) to \p sink and forwarding each to \p on_result
+/// with the task's ORIGINAL grid index, so per-cell console context keeps
+/// working. In an unsharded run this is exactly the old in-process fast
+/// path: submission-order delivery, bit-identical at any worker count.
+/// Under --shard the sink receives only this slice's rows (merge shard
+/// outputs with hxsp_runner --merge); console output that reads sibling
+/// cells (healthy references, grid headers) is best-effort then.
+inline void run_grid(
+    const TaskGrid& grid, const CommonOptions& common, ResultSink& sink,
+    const std::function<void(std::size_t, const TaskSpec&, const TaskResult&)>&
+        on_result = {}) {
+  const std::vector<std::size_t> picked =
+      shard_indices(grid.size(), common.shard);
+  ParallelSweep sweep(common.jobs);
+  sweep.map<TaskResult>(
+      picked.size(),
+      [&](std::size_t i) { return run_task(grid[picked[i]]); },
+      [&](std::size_t i, const TaskResult& result) {
+        sink.add(grid[picked[i]], result);
+        if (on_result) on_result(picked[i], grid[picked[i]], result);
+      });
 }
 
 /// Prints the standard bench banner: what paper artefact this reproduces,
@@ -114,51 +193,62 @@ inline void quick_cycles(const Options& opt, bool paper, ExperimentSpec& spec) {
   spec.measure = opt.get_int("measure", 3000);
 }
 
-/// The fig04/fig05 fault-free grid: every (pattern, mechanism, load)
-/// cell as an independent simulation, fanned across \p workers threads
-/// and delivered in submission order, reproducing the serial console
-/// layout (per-pattern header, one mech row of accepted values across
-/// the load sweep) byte for byte at any worker count. Each cell is
-/// appended to \p t and \p sink.
-inline void run_load_grid(const ExperimentSpec& base,
-                          const std::vector<std::string>& patterns,
-                          const std::vector<std::string>& mechs,
-                          const std::vector<double>& loads, int workers,
-                          Table& t, ResultSink& sink) {
+/// The fig04/fig05 fault-free grid: every (pattern, mechanism, load) cell
+/// as an independent TaskSpec in canonical order, plus the cell context
+/// the console callback needs to reproduce the serial layout.
+struct LoadGrid {
+  TaskGrid grid;
   struct Cell {
     std::size_t pattern, mech, load;
   };
-  std::vector<SweepPoint> points;
-  std::vector<Cell> cells;
+  std::vector<Cell> cells;  ///< cells[i] describes grid task i
+  std::vector<std::string> patterns, mechs;
+  std::vector<double> loads;
+};
+
+inline LoadGrid build_load_grid(const std::string& driver,
+                                const ExperimentSpec& base,
+                                const std::vector<std::string>& patterns,
+                                const std::vector<std::string>& mechs,
+                                const std::vector<double>& loads) {
+  LoadGrid lg{TaskGrid(driver), {}, patterns, mechs, loads};
   for (std::size_t pi = 0; pi < patterns.size(); ++pi) {
     for (std::size_t mi = 0; mi < mechs.size(); ++mi) {
       ExperimentSpec s = base;
       s.mechanism = mechs[mi];
       s.pattern = patterns[pi];
       for (std::size_t li = 0; li < loads.size(); ++li) {
-        points.push_back({s, loads[li]});
-        cells.push_back({pi, mi, li});
+        lg.grid.add(TaskSpec::rate(s, loads[li]));
+        lg.cells.push_back({pi, mi, li});
       }
     }
   }
+  return lg;
+}
 
-  ParallelSweep sweep(workers);
-  sweep.run(points, [&](std::size_t i, const ResultRow& r) {
-    const Cell& c = cells[i];
+/// Runs a LoadGrid, reproducing the serial console layout (per-pattern
+/// header, one mech row of accepted values across the load sweep) byte
+/// for byte at any worker count. Each cell is appended to \p t and
+/// \p sink.
+inline void run_load_grid(const LoadGrid& lg, const CommonOptions& common,
+                          Table& t, ResultSink& sink) {
+  run_grid(lg.grid, common, sink,
+           [&](std::size_t gi, const TaskSpec&, const TaskResult& result) {
+    const LoadGrid::Cell& c = lg.cells[gi];
+    const ResultRow& r = *task_result_row(result);
     if (c.mech == 0 && c.load == 0) {
-      std::printf("\n--- pattern: %s ---\n", patterns[c.pattern].c_str());
+      std::printf("\n--- pattern: %s ---\n", lg.patterns[c.pattern].c_str());
       std::printf("%-10s", "mech\\load");
-      for (double l : loads) std::printf(" %9.2f", l);
+      for (double l : lg.loads) std::printf(" %9.2f", l);
       std::printf("\n");
     }
     if (c.load == 0)
-      std::printf("%-10s", mechanism_display_name(mechs[c.mech]).c_str());
+      std::printf("%-10s", mechanism_display_name(lg.mechs[c.mech]).c_str());
     std::printf(" %9.3f", r.accepted);
-    t.row().cell(patterns[c.pattern]).cell(r.mechanism).cell(r.offered, 2)
+    t.row().cell(lg.patterns[c.pattern]).cell(r.mechanism).cell(r.offered, 2)
         .cell(r.accepted, 4).cell(r.avg_latency, 1).cell(r.jain, 4)
         .cell(r.escape_frac, 4);
-    sink.add_row(r, points[i].spec.seed);
-    if (c.load + 1 == loads.size()) {
+    if (c.load + 1 == lg.loads.size()) {
       std::printf("  (accepted)\n");
       std::fflush(stdout);
     }
@@ -171,52 +261,70 @@ struct ShapeDef {
   ShapeFault fault;
 };
 
-/// The fig08/fig09 shape-grid sweep: for every (mechanism, pattern) pair a
-/// healthy reference plus every shape, fanned across \p workers threads.
-/// Healthy points are submitted first per pair and ParallelSweep delivers
-/// results in submission order, so each shape row reads the healthy
-/// throughput ("top marks") delivered just before it — do not reorder the
-/// submission without also buffering the references. Prints one row per
-/// shape run (shape name padded to \p name_width) and appends it to \p t
-/// and \p sink (healthy references get label "healthy").
-inline void run_shape_grid(const ExperimentSpec& base,
-                           const std::vector<ShapeDef>& shapes,
-                           const std::vector<std::string>& patterns,
-                           int workers, int name_width, Table& t,
-                           ResultSink& sink) {
+/// The fig08/fig09 shape grid: for every (mechanism, pattern) pair a
+/// healthy reference plus every shape, in canonical order. Healthy tasks
+/// precede their pair's shape tasks, so the submission-order delivery of
+/// an unsharded run hands each shape row its healthy throughput ("top
+/// marks") just before it — do not reorder the expansion without also
+/// buffering the references.
+struct ShapeGrid {
+  TaskGrid grid;
   struct Cell {
     int shape = -1;  ///< index into shapes; -1 = healthy reference
     std::string pattern;
   };
-  std::vector<SweepPoint> points;
   std::vector<Cell> cells;
+  std::vector<ShapeDef> shapes;
+};
+
+inline ShapeGrid build_shape_grid(const std::string& driver,
+                                  const ExperimentSpec& base,
+                                  const std::vector<ShapeDef>& shapes,
+                                  const std::vector<std::string>& patterns) {
+  ShapeGrid sg{TaskGrid(driver), {}, shapes};
   for (const auto& mech : surepath_mechanisms()) {
     for (const auto& pattern : patterns) {
       ExperimentSpec h = base;
       h.mechanism = mech;
       h.pattern = pattern;
-      points.push_back({h, 1.0});
-      cells.push_back({-1, pattern});
+      TaskSpec healthy = TaskSpec::rate(h, 1.0);
+      healthy.label = "healthy";
+      healthy.extra = "faults=0";
+      sg.grid.add(std::move(healthy));
+      sg.cells.push_back({-1, pattern});
       for (std::size_t sh = 0; sh < shapes.size(); ++sh) {
         ExperimentSpec s = h;
         s.fault_links = shapes[sh].fault.links;
         s.escape_root = shapes[sh].fault.suggested_root;
-        points.push_back({s, 1.0});
-        cells.push_back({static_cast<int>(sh), pattern});
+        TaskSpec task = TaskSpec::rate(s, 1.0);
+        task.label = shapes[sh].name;
+        task.extra = "faults=" + std::to_string(shapes[sh].fault.links.size());
+        sg.grid.add(std::move(task));
+        sg.cells.push_back({static_cast<int>(sh), pattern});
       }
     }
   }
+  return sg;
+}
 
-  ParallelSweep sweep(workers);
+/// Runs a ShapeGrid, printing one row per shape run (shape name padded to
+/// \p name_width) with its degradation against the most recent healthy
+/// reference, and appending every run to \p t and \p sink. The healthy /
+/// degradation comparison is console-and-table context only — persisted
+/// records carry task-local fields, so shard outputs merge cleanly; the
+/// plotting pipeline recomputes degradation from the healthy rows.
+inline void run_shape_grid(const ShapeGrid& sg, const CommonOptions& common,
+                           int name_width, Table& t, ResultSink& sink) {
   double healthy = 0.0;  // most recent healthy reference
-  sweep.run(points, [&](std::size_t i, const ResultRow& r) {
-    const Cell& c = cells[i];
+  run_grid(sg.grid, common, sink,
+           [&](std::size_t gi, const TaskSpec&, const TaskResult& result) {
+    const ShapeGrid::Cell& c = sg.cells[gi];
+    const ResultRow& r = *task_result_row(result);
     if (c.shape < 0) {
       healthy = r.accepted;
-      sink.add_row(r, points[i].spec.seed, "healthy", "faults=0");
       return;
     }
-    const ShapeDef& shape = shapes[static_cast<std::size_t>(c.shape)];
+    const ShapeDef& shape = sg.shapes[static_cast<std::size_t>(c.shape)];
     const double deg = healthy > 0 ? 1.0 - r.accepted / healthy : 0.0;
     std::printf("%-*s %-8s %-10s faults=%-4zu acc=%.3f healthy=%.3f "
                 "degradation=%4.1f%% esc=%.3f\n",
@@ -226,10 +334,6 @@ inline void run_shape_grid(const ExperimentSpec& base,
     t.row().cell(shape.name).cell(static_cast<long>(shape.fault.links.size()))
         .cell(r.mechanism).cell(c.pattern).cell(r.accepted, 4)
         .cell(healthy, 4).cell(deg, 4).cell(r.escape_frac, 4);
-    sink.add_row(r, points[i].spec.seed, shape.name,
-                 "faults=" + std::to_string(shape.fault.links.size()) +
-                     ";healthy=" + format_double(healthy, 6) +
-                     ";degradation=" + format_double(deg, 6));
     std::fflush(stdout);
   });
 }

@@ -10,10 +10,13 @@
 /// The three per-topology studies are independent and fan across the
 /// sweep pool via ParallelSweep::map (--jobs=N); each study builds its
 /// own tables, network and RNG streams, so output is bit-identical at
-/// any worker count.
+/// any worker count. --shard=i/n slices the study range with the shared
+/// round-robin rule; the studies run on hand-built graphs an
+/// ExperimentSpec cannot express, so --emit-tasks writes an empty
+/// manifest.
 ///
 /// Usage: ext_dragonfly_escape [--csv[=file]] [--json[=file]] [--seed=N]
-///                             [--jobs=N]
+///                             [--jobs=N] [--shard=i/n]
 
 #include "bench_util.hpp"
 #include "core/surepath.hpp"
@@ -109,8 +112,9 @@ StudyResult run_study(Graph graph, int sps, std::uint64_t seed) {
 int main(int argc, char** argv) {
   const Options opt(argc, argv);
   const std::uint64_t seed = static_cast<std::uint64_t>(opt.get_int("seed", 1));
-  const int jobs = bench::common_options(opt);
-  opt.warn_unknown();
+  const bench::CommonOptions common(opt);
+  if (bench::maybe_emit_tasks(common, TaskGrid("ext_dragonfly_escape")))
+    return 0;
 
   std::printf("Extension — escape quality across topologies (paper §7)\n\n");
   Table t({"topology", "switches", "links", "escape_stretch", "accepted",
@@ -129,12 +133,13 @@ int main(int argc, char** argv) {
   studies.push_back({"Dragonfly a=4 h=2", "Dragonfly(4,2):", make_dragonfly(4, 2)});
   studies.push_back({"Dragonfly a=6 h=1", "Dragonfly(6,1):", make_dragonfly(6, 1)});
 
-  ParallelSweep sweep(jobs);
+  const auto picked = shard_indices(studies.size(), common.shard);
+  ParallelSweep sweep(common.jobs);
   sweep.map<StudyResult>(
-      studies.size(),
-      [&](std::size_t i) { return run_study(studies[i].graph, 4, seed); },
+      picked.size(),
+      [&](std::size_t i) { return run_study(studies[picked[i]].graph, 4, seed); },
       [&](std::size_t i, const StudyResult& r) {
-        const Study& st = studies[i];
+        const Study& st = studies[picked[i]];
         std::printf("%s stretch=%.3f acc=%.3f esc=%.3f\n", st.console,
                     r.stretch, r.accepted, r.escape_frac);
         t.row().cell(st.name).cell(static_cast<long>(st.graph.num_switches()))
@@ -142,6 +147,7 @@ int main(int argc, char** argv) {
             .cell(r.accepted, 4).cell(r.escape_frac, 4);
         ResultRecord rec;
         rec.kind = "rate";
+        rec.task_id = make_task_id("ext_dragonfly_escape", picked[i]);
         rec.label = st.name;
         rec.mechanism = "MinSP";
         rec.pattern = "uniform";

@@ -10,12 +10,14 @@
 /// should agree — recovery converges; tests/sweep_tasks_test.cpp enforces
 /// this invariant).
 ///
-/// Each mechanism's dynamic run and its static reference are SweepTasks
-/// fanned across a ParallelSweep pool (--jobs=N); output is bit-identical
-/// at any worker count.
+/// Each mechanism's dynamic run and its static reference are TaskSpecs on
+/// a TaskGrid: run in-process across a ParallelSweep pool (--jobs=N,
+/// bit-identical at any worker count), emitted as a manifest
+/// (--emit-tasks), or sliced with --shard=i/n.
 ///
 /// Usage: ext_dynamic_faults [--paper] [--faults=N] [--csv[=file]]
 ///                           [--json[=file]] [--seed=N] [--jobs=N]
+///                           [--shard=i/n] [--emit-tasks[=file]]
 
 #include "bench_util.hpp"
 #include "topology/faults.hpp"
@@ -32,15 +34,9 @@ int main(int argc, char** argv) {
   }
   base.sim.num_vcs = static_cast<int>(opt.get_int("vcs", 4));
   const int nfaults = static_cast<int>(opt.get_int("faults", 6));
-  const int jobs = bench::common_options(opt);
-  opt.warn_unknown();
+  const bench::CommonOptions common(opt);
 
-  bench::banner("Extension — online link failures with live BFS recovery",
-                base);
-
-  const int sps =
-      base.servers_per_switch < 0 ? base.sides[0] : base.servers_per_switch;
-  HyperX scratch(base.sides, sps);
+  HyperX scratch(base.sides, base.resolved_servers_per_switch());
   Rng frng(base.seed + 17);
   const auto links = random_fault_links(scratch.graph(), nfaults, frng, true);
 
@@ -51,22 +47,32 @@ int main(int argc, char** argv) {
                       links[static_cast<std::size_t>(i)]});
 
   // Per mechanism: the dynamic run, then its static reference (same fault
-  // set from cycle 0); submission order is the old serial print order.
-  std::vector<SweepTask> tasks;
+  // set from cycle 0); grid order is the old serial print order.
+  TaskGrid grid("ext_dynamic_faults");
   for (const auto& mech : bench::surepath_mechanisms()) {
     ExperimentSpec s = base;
     s.mechanism = mech;
     s.pattern = "uniform";
-    tasks.push_back(SweepTask::dynamic_faults(s, 0.7, events));
+    TaskSpec dyn = TaskSpec::dynamic_faults(s, 0.7, events);
+    dyn.label = "dynamic";
+    dyn.extra = "faults=" + std::to_string(nfaults);
+    grid.add(std::move(dyn));
     ExperimentSpec st = s;
     st.fault_links = links;
-    tasks.push_back(SweepTask::rate(st, 0.7));
+    TaskSpec ref = TaskSpec::rate(st, 0.7);
+    ref.label = "static";
+    ref.extra = "faults=" + std::to_string(nfaults);
+    grid.add(std::move(ref));
   }
+  if (bench::maybe_emit_tasks(common, grid)) return 0;
+
+  bench::banner("Extension — online link failures with live BFS recovery",
+                base);
 
   Table t({"mechanism", "mode", "accepted", "dropped", "escape_frac"});
   ResultSink sink("ext_dynamic_faults");
-  ParallelSweep sweep(jobs);
-  sweep.run_tasks(tasks, [&](std::size_t i, const TaskResult& result) {
+  bench::run_grid(grid, common, sink,
+                  [&](std::size_t, const TaskSpec&, const TaskResult& result) {
     if (const DynamicResult* dyn = std::get_if<DynamicResult>(&result)) {
       std::printf("%s dynamic: accepted=%.3f dropped=%ld esc=%.3f\n",
                   dyn->row.mechanism.c_str(), dyn->row.accepted, dyn->dropped,
@@ -79,16 +85,12 @@ int main(int argc, char** argv) {
       t.row().cell(dyn->row.mechanism).cell("dynamic")
           .cell(dyn->row.accepted, 4).cell(dyn->dropped)
           .cell(dyn->row.escape_frac, 4);
-      sink.add(tasks[i], result, "dynamic",
-               "faults=" + std::to_string(nfaults));
     } else {
       const ResultRow& ref = std::get<ResultRow>(result);
       std::printf("%s static reference: accepted=%.3f esc=%.3f\n\n",
                   ref.mechanism.c_str(), ref.accepted, ref.escape_frac);
       t.row().cell(ref.mechanism).cell("static").cell(ref.accepted, 4)
           .cell(0L).cell(ref.escape_frac, 4);
-      sink.add(tasks[i], result, "static",
-               "faults=" + std::to_string(nfaults));
     }
     std::fflush(stdout);
   });

@@ -5,14 +5,15 @@
 /// Random Server Permutation and Dimension Complement Reverse traffic.
 ///
 /// Default: reduced scale (8x8, shortened cycles). --paper: 16x16 with the
-/// paper's measurement windows. The (pattern, mechanism, load) grid is
-/// fanned across a ParallelSweep pool (--jobs=N); results are delivered
-/// in submission order, so the printed grid is bit-identical at any
-/// worker count.
+/// paper's measurement windows. The (pattern, mechanism, load) grid is a
+/// TaskGrid: run in-process across a ParallelSweep pool (--jobs=N, output
+/// bit-identical at any worker count), emitted as a TaskSpec manifest
+/// (--emit-tasks) for hxsp_runner, or sliced with --shard=i/n.
 ///
 /// Usage: fig04_2d_faultfree [--paper] [--loads=..] [--mechs=..]
 ///                           [--patterns=..] [--csv[=file]] [--json[=file]]
-///                           [--seed=N] [--jobs=N]
+///                           [--seed=N] [--jobs=N] [--shard=i/n]
+///                           [--emit-tasks[=file]]
 
 #include "bench_util.hpp"
 
@@ -26,8 +27,11 @@ int main(int argc, char** argv) {
   const auto mechs = opt.get_list("mechs", bench::paper_mechanisms());
   const auto patterns = opt.get_list("patterns", bench::patterns_2d());
   const auto loads = bench::load_sweep(opt, paper);
-  const int jobs = bench::common_options(opt);
-  opt.warn_unknown();
+  const bench::CommonOptions common(opt);
+
+  const bench::LoadGrid lg =
+      bench::build_load_grid("fig04_2d_faultfree", base, patterns, mechs, loads);
+  if (bench::maybe_emit_tasks(common, lg.grid)) return 0;
 
   bench::banner("Figure 4 — 2D HyperX, fault-free: throughput / latency / "
                 "Jain vs offered load",
@@ -36,7 +40,7 @@ int main(int argc, char** argv) {
   Table t({"pattern", "mechanism", "offered", "accepted", "avg_latency",
            "jain", "escape_frac"});
   ResultSink sink("fig04_2d_faultfree");
-  bench::run_load_grid(base, patterns, mechs, loads, jobs, t, sink);
+  bench::run_load_grid(lg, common, t, sink);
   std::printf("\nFull rows (accepted / latency / jain):\n\n%s\n", t.str().c_str());
   std::printf("Paper shape check: all mechanisms except Valiant reach high\n"
               "throughput on Uniform; Valiant sits near 0.5; Minimal\n"

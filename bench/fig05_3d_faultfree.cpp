@@ -5,13 +5,15 @@
 /// Neighbour pattern (which separates Omnidimensional from Polarized
 /// routes: aligned routes are bisection-bounded at 0.5).
 ///
-/// Default: reduced scale (4x4x4). --paper: 8x8x8. The grid is fanned
-/// across a ParallelSweep pool (--jobs=N); delivery in submission order
-/// keeps the printed grid bit-identical at any worker count.
+/// Default: reduced scale (4x4x4). --paper: 8x8x8. The grid is a TaskGrid:
+/// run in-process across a ParallelSweep pool (--jobs=N, bit-identical at
+/// any worker count), emitted as a TaskSpec manifest (--emit-tasks) for
+/// hxsp_runner, or sliced with --shard=i/n.
 ///
 /// Usage: fig05_3d_faultfree [--paper] [--loads=..] [--mechs=..]
 ///                           [--patterns=..] [--csv[=file]] [--json[=file]]
-///                           [--seed=N] [--jobs=N]
+///                           [--seed=N] [--jobs=N] [--shard=i/n]
+///                           [--emit-tasks[=file]]
 
 #include "bench_util.hpp"
 
@@ -25,8 +27,11 @@ int main(int argc, char** argv) {
   const auto mechs = opt.get_list("mechs", bench::paper_mechanisms());
   const auto patterns = opt.get_list("patterns", bench::patterns_3d());
   const auto loads = bench::load_sweep(opt, paper);
-  const int jobs = bench::common_options(opt);
-  opt.warn_unknown();
+  const bench::CommonOptions common(opt);
+
+  const bench::LoadGrid lg =
+      bench::build_load_grid("fig05_3d_faultfree", base, patterns, mechs, loads);
+  if (bench::maybe_emit_tasks(common, lg.grid)) return 0;
 
   bench::banner("Figure 5 — 3D HyperX, fault-free: throughput / latency / "
                 "Jain vs offered load",
@@ -35,7 +40,7 @@ int main(int argc, char** argv) {
   Table t({"pattern", "mechanism", "offered", "accepted", "avg_latency",
            "jain", "escape_frac"});
   ResultSink sink("fig05_3d_faultfree");
-  bench::run_load_grid(base, patterns, mechs, loads, jobs, t, sink);
+  bench::run_load_grid(lg, common, t, sink);
   std::printf("\nFull rows:\n\n%s\n", t.str().c_str());
   std::printf("Paper shape check: on RPN, Minimal is worst, OmniWAR/OmniSP\n"
               "are capped near 0.5 (aligned routes cannot beat the bisection\n"

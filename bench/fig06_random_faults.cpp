@@ -9,14 +9,16 @@
 /// scale the counts are scaled to keep the same *fraction* of faulty
 /// links; --paper uses 0..100 step 10 on the paper topologies.
 ///
-/// The grid's cells are independent simulations, so they are fanned
-/// across a ParallelSweep pool; --jobs=N bounds the workers (default:
-/// hardware concurrency, --jobs=1 is the old serial behaviour). Output
-/// is bit-identical whatever the worker count.
+/// The grid's cells are independent TaskSpecs: run in-process across a
+/// ParallelSweep pool (--jobs=N, default hardware concurrency, output
+/// bit-identical whatever the worker count), emitted as a manifest
+/// (--emit-tasks) for hxsp_runner, or sliced with --shard=i/n — this is
+/// the driver the CI shard job exercises end to end.
 ///
 /// Usage: fig06_random_faults [--paper] [--dims=2|3|0 (both)]
 ///                            [--max-faults=N] [--steps=N] [--seed=N]
-///                            [--jobs=N] [--csv[=file]] [--json[=file]]
+///                            [--jobs=N] [--shard=i/n] [--emit-tasks[=file]]
+///                            [--csv[=file]] [--json[=file]]
 
 #include "bench_util.hpp"
 #include "topology/faults.hpp"
@@ -25,11 +27,20 @@ using namespace hxsp;
 
 namespace {
 
-void run_dim(int dims, ExperimentSpec base, bool paper, long max_faults_opt,
-             int steps, Table& t, ResultSink& sink, ParallelSweep& sweep) {
+/// Console context of one grid task.
+struct Cell {
+  int dims = 0;
+  int faults = 0;
+  std::string pattern;
+  bool dim_header = false;  ///< first cell of its dimension
+  int links = 0;            ///< printed in the dimension header
+  int max_faults = 0;
+};
+
+void build_dim(int dims, ExperimentSpec base, bool paper, long max_faults_opt,
+               int steps, TaskGrid& grid, std::vector<Cell>& cells) {
   // Build the shared fault sequence on a scratch topology.
-  HyperX scratch(base.sides, base.servers_per_switch < 0 ? base.sides[0]
-                                                         : base.servers_per_switch);
+  HyperX scratch(base.sides, base.resolved_servers_per_switch());
   Rng frng(base.seed + 1000);
   const auto seq = random_fault_sequence(scratch.graph(), frng);
 
@@ -42,21 +53,7 @@ void run_dim(int dims, ExperimentSpec base, bool paper, long max_faults_opt,
                    : std::max(10, scratch.graph().num_links() * 100 / 3840)));
 
   const auto patterns = dims == 3 ? bench::patterns_3d() : bench::patterns_2d();
-  std::printf("\n=== %dD HyperX (%d links, faults 0..%d) ===\n", dims,
-              scratch.graph().num_links(), max_faults);
-  std::printf("%-8s %-26s", "faults", "mech/pattern:");
-  std::printf(" accepted load at offered 1.0\n");
-
-  // Every (fault count, mechanism, pattern) cell is an independent
-  // simulation: build the whole grid and fan it across the sweep pool.
-  // Results are delivered in submission order, so the output is identical
-  // to the old serial loop.
-  struct Cell {
-    int faults;
-    std::string pattern;
-  };
-  std::vector<SweepPoint> points;
-  std::vector<Cell> cells;
+  bool first = true;
   for (int step = 0; step <= steps; ++step) {
     const int faults = max_faults * step / steps;
     ExperimentSpec s = base;
@@ -65,25 +62,22 @@ void run_dim(int dims, ExperimentSpec base, bool paper, long max_faults_opt,
       for (const auto& pattern : patterns) {
         s.mechanism = mech;
         s.pattern = pattern;
-        points.push_back({s, 1.0});
-        cells.push_back({faults, pattern});
+        TaskSpec task = TaskSpec::rate(s, 1.0);
+        task.extra = "dims=" + std::to_string(dims) +
+                     ";faults=" + std::to_string(faults);
+        grid.add(std::move(task));
+        Cell c;
+        c.dims = dims;
+        c.faults = faults;
+        c.pattern = pattern;
+        c.dim_header = first;
+        c.links = scratch.graph().num_links();
+        c.max_faults = max_faults;
+        cells.push_back(std::move(c));
+        first = false;
       }
     }
   }
-
-  sweep.run(points, [&](std::size_t i, const ResultRow& r) {
-    const Cell& c = cells[i];
-    std::printf("%-8d %-10s %-14s acc=%.3f esc=%.3f forced=%.4f\n", c.faults,
-                r.mechanism.c_str(), c.pattern.c_str(), r.accepted,
-                r.escape_frac, r.forced_frac);
-    t.row().cell(static_cast<long>(dims)).cell(static_cast<long>(c.faults))
-        .cell(r.mechanism).cell(c.pattern).cell(r.accepted, 4)
-        .cell(r.escape_frac, 4).cell(r.forced_frac, 4);
-    sink.add_row(r, points[i].spec.seed, "",
-                 "dims=" + std::to_string(dims) +
-                     ";faults=" + std::to_string(c.faults));
-    std::fflush(stdout);
-  });
 }
 
 } // namespace
@@ -100,8 +94,15 @@ int main(int argc, char** argv) {
   bench::quick_cycles(opt, paper, base2);
   bench::quick_cycles(opt, paper, base3);
   base2.sim.num_vcs = base3.sim.num_vcs = vcs;
-  const int jobs = bench::common_options(opt);
-  opt.warn_unknown();
+  const bench::CommonOptions common(opt);
+
+  TaskGrid grid("fig06_random_faults");
+  std::vector<Cell> cells;
+  if (dims == 0 || dims == 2)
+    build_dim(2, base2, paper, max_faults_opt, steps, grid, cells);
+  if (dims == 0 || dims == 3)
+    build_dim(3, base3, paper, max_faults_opt, steps, grid, cells);
+  if (bench::maybe_emit_tasks(common, grid)) return 0;
 
   std::printf("Figure 6 — Throughput for successive random failures "
               "(OmniSP/PolSP, offered load 1.0)\n");
@@ -111,11 +112,24 @@ int main(int argc, char** argv) {
   Table t({"dims", "faults", "mechanism", "pattern", "accepted", "escape_frac",
            "forced_frac"});
   ResultSink sink("fig06_random_faults");
-  ParallelSweep sweep(jobs);
-  if (dims == 0 || dims == 2)
-    run_dim(2, base2, paper, max_faults_opt, steps, t, sink, sweep);
-  if (dims == 0 || dims == 3)
-    run_dim(3, base3, paper, max_faults_opt, steps, t, sink, sweep);
+  bench::run_grid(grid, common, sink,
+                  [&](std::size_t gi, const TaskSpec&, const TaskResult& result) {
+    const Cell& c = cells[gi];
+    const ResultRow& r = *task_result_row(result);
+    if (c.dim_header) {
+      std::printf("\n=== %dD HyperX (%d links, faults 0..%d) ===\n", c.dims,
+                  c.links, c.max_faults);
+      std::printf("%-8s %-26s", "faults", "mech/pattern:");
+      std::printf(" accepted load at offered 1.0\n");
+    }
+    std::printf("%-8d %-10s %-14s acc=%.3f esc=%.3f forced=%.4f\n", c.faults,
+                r.mechanism.c_str(), c.pattern.c_str(), r.accepted,
+                r.escape_frac, r.forced_frac);
+    t.row().cell(static_cast<long>(c.dims)).cell(static_cast<long>(c.faults))
+        .cell(r.mechanism).cell(c.pattern).cell(r.accepted, 4)
+        .cell(r.escape_frac, 4).cell(r.forced_frac, 4);
+    std::fflush(stdout);
+  });
   bench::persist(opt, sink, "fig06_random_faults");
   return 0;
 }

@@ -9,11 +9,13 @@
 /// (100 links), Cross = two 11-switch segments (110 links, the root keeps
 /// 1/3 of its links). Reduced scale mirrors the proportions.
 ///
-/// Runs are fanned across a ParallelSweep pool (--jobs=N, default
-/// hardware concurrency); output is bit-identical at any worker count.
+/// The grid is a TaskGrid: run in-process across a ParallelSweep pool
+/// (--jobs=N, bit-identical at any worker count), emitted as a manifest
+/// (--emit-tasks) for hxsp_runner, or sliced with --shard=i/n.
 ///
 /// Usage: fig08_2d_shapes [--paper] [--csv[=file]] [--json[=file]]
-///                        [--seed=N] [--jobs=N]
+///                        [--seed=N] [--jobs=N] [--shard=i/n]
+///                        [--emit-tasks[=file]]
 
 #include "bench_util.hpp"
 #include "topology/faults.hpp"
@@ -26,12 +28,10 @@ int main(int argc, char** argv) {
   ExperimentSpec base = spec_from_options(opt, 2);
   bench::quick_cycles(opt, paper, base);
   base.sim.num_vcs = static_cast<int>(opt.get_int("vcs", 4));
-  const int jobs = bench::common_options(opt);
-  opt.warn_unknown();
+  const bench::CommonOptions common(opt);
 
   const int side = base.sides[0];
-  HyperX scratch(base.sides,
-                 base.servers_per_switch < 0 ? side : base.servers_per_switch);
+  HyperX scratch(base.sides, base.resolved_servers_per_switch());
 
   // Shape definitions scale with the side: Row is always the full row;
   // Subplane is ~1/3 of the side; Cross segments leave a margin of ~1/3.
@@ -45,6 +45,11 @@ int main(int argc, char** argv) {
                     subcube_fault(scratch, {0, 0}, {sub, sub})});
   shapes.push_back({"Cross", star_fault(scratch, center, seg)});
 
+  const bench::ShapeGrid sg =
+      bench::build_shape_grid("fig08_2d_shapes", base, shapes,
+                              bench::patterns_2d());
+  if (bench::maybe_emit_tasks(common, sg.grid)) return 0;
+
   bench::banner("Figure 8 — 2D HyperX with shaped fault regions "
                 "(root inside the fault set)",
                 base);
@@ -53,7 +58,7 @@ int main(int argc, char** argv) {
            "healthy", "degradation", "escape_frac"});
 
   ResultSink sink("fig08_2d_shapes");
-  bench::run_shape_grid(base, shapes, bench::patterns_2d(), jobs, 9, t, sink);
+  bench::run_shape_grid(sg, common, 9, t, sink);
   std::printf("\nPaper shape check: Row and Subplane cost ~11%%; Cross is the\n"
               "stressful one (root loses 2/3 of its links), with the largest\n"
               "drop under Uniform (~37%% in the paper).\n");

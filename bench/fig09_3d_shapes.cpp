@@ -5,11 +5,13 @@
 /// the escape root with only 3 alive links) — for all four patterns, with
 /// healthy references.
 ///
-/// Runs are fanned across a ParallelSweep pool (--jobs=N, default
-/// hardware concurrency); output is bit-identical at any worker count.
+/// The grid is a TaskGrid: run in-process across a ParallelSweep pool
+/// (--jobs=N, bit-identical at any worker count), emitted as a manifest
+/// (--emit-tasks) for hxsp_runner, or sliced with --shard=i/n.
 ///
 /// Usage: fig09_3d_shapes [--paper] [--csv[=file]] [--json[=file]]
-///                        [--seed=N] [--jobs=N]
+///                        [--seed=N] [--jobs=N] [--shard=i/n]
+///                        [--emit-tasks[=file]]
 
 #include "bench_util.hpp"
 #include "topology/faults.hpp"
@@ -22,12 +24,10 @@ int main(int argc, char** argv) {
   ExperimentSpec base = spec_from_options(opt, 3);
   bench::quick_cycles(opt, paper, base);
   base.sim.num_vcs = static_cast<int>(opt.get_int("vcs", 4));
-  const int jobs = bench::common_options(opt);
-  opt.warn_unknown();
+  const bench::CommonOptions common(opt);
 
   const int side = base.sides[0];
-  HyperX scratch(base.sides,
-                 base.servers_per_switch < 0 ? side : base.servers_per_switch);
+  HyperX scratch(base.sides, base.resolved_servers_per_switch());
 
   const int sub = std::max(2, side * 3 / 8);  // 3 at side 8
   const int seg = std::max(2, side - 1);      // 7 at side 8: root keeps n links
@@ -38,6 +38,11 @@ int main(int argc, char** argv) {
   shapes.push_back({"Row", row_fault(scratch, 0, {0, side / 2, side / 2})});
   shapes.push_back({"Subcube", subcube_fault(scratch, {0, 0, 0}, {sub, sub, sub})});
   shapes.push_back({"Star", star_fault(scratch, center, seg)});
+
+  const bench::ShapeGrid sg =
+      bench::build_shape_grid("fig09_3d_shapes", base, shapes,
+                              bench::patterns_3d());
+  if (bench::maybe_emit_tasks(common, sg.grid)) return 0;
 
   bench::banner("Figure 9 — 3D HyperX with shaped fault regions "
                 "(root inside the fault set)",
@@ -53,7 +58,7 @@ int main(int argc, char** argv) {
            "healthy", "degradation", "escape_frac"});
 
   ResultSink sink("fig09_3d_shapes");
-  bench::run_shape_grid(base, shapes, bench::patterns_3d(), jobs, 8, t, sink);
+  bench::run_shape_grid(sg, common, 8, t, sink);
   std::printf("\nPaper shape check: Row/Subcube behave like the 2D case; the\n"
               "RPN pattern keeps PolSP ahead except under Star faults, where\n"
               "in-cast at the 3-link root changes the picture (see Fig 10).\n");

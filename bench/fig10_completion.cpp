@@ -7,13 +7,15 @@
 /// paper measures OmniSP completing ~2.8x slower than PolSP despite a
 /// higher throughput peak).
 ///
-/// The per-mechanism races are completion-mode SweepTasks fanned across a
-/// ParallelSweep pool (--jobs=N); output is bit-identical at any worker
-/// count.
+/// The per-mechanism races are completion-mode TaskSpecs on a TaskGrid:
+/// run in-process across a ParallelSweep pool (--jobs=N, bit-identical at
+/// any worker count), emitted as a manifest (--emit-tasks), or sliced
+/// with --shard=i/n.
 ///
 /// Usage: fig10_completion [--paper] [--phits=4000] [--bucket=2000]
 ///                         [--deadline=N] [--csv[=file]] [--json[=file]]
-///                         [--seed=N] [--jobs=N]
+///                         [--seed=N] [--jobs=N] [--shard=i/n]
+///                         [--emit-tasks[=file]]
 
 #include "bench_util.hpp"
 #include "topology/faults.hpp"
@@ -29,34 +31,33 @@ int main(int argc, char** argv) {
   const long packets = phits / base.sim.packet_length;
   const Cycle bucket = opt.get_int("bucket", paper ? 5000 : 2000);
   const Cycle deadline = opt.get_int("deadline", 4000000);
-  const int jobs = bench::common_options(opt);
-  opt.warn_unknown();
+  const bench::CommonOptions common(opt);
 
   const int side = base.sides[0];
-  HyperX scratch(base.sides,
-                 base.servers_per_switch < 0 ? side : base.servers_per_switch);
+  HyperX scratch(base.sides, base.resolved_servers_per_switch());
   const SwitchId center = scratch.switch_at(std::vector<int>(3, side / 2));
   const ShapeFault star = star_fault(scratch, center, std::max(2, side - 1));
 
-  bench::banner("Figure 10 — Completion time, RPN traffic, Star faults "
-                "(every server sends " + std::to_string(phits) + " phits)",
-                base);
-
-  std::vector<SweepTask> tasks;
+  TaskGrid grid("fig10_completion");
   for (const auto& mech : bench::surepath_mechanisms()) {
     ExperimentSpec s = base;
     s.mechanism = mech;
     s.pattern = "rpn";
     s.fault_links = star.links;
     s.escape_root = center;
-    tasks.push_back(SweepTask::completion(s, packets, bucket, deadline));
+    grid.add(TaskSpec::completion(s, packets, bucket, deadline));
   }
+  if (bench::maybe_emit_tasks(common, grid)) return 0;
+
+  bench::banner("Figure 10 — Completion time, RPN traffic, Star faults "
+                "(every server sends " + std::to_string(phits) + " phits)",
+                base);
 
   Table t({"mechanism", "bucket_start", "throughput"});
   ResultSink sink("fig10_completion");
   std::vector<std::pair<std::string, Cycle>> completions;
-  ParallelSweep sweep(jobs);
-  sweep.run_tasks(tasks, [&](std::size_t i, const TaskResult& result) {
+  bench::run_grid(grid, common, sink,
+                  [&](std::size_t, const TaskSpec&, const TaskResult& result) {
     const CompletionResult& res = std::get<CompletionResult>(result);
     completions.emplace_back(res.mechanism, res.completion_time);
     std::printf("\n%s: %s, completion time = %ld cycles\n",
@@ -72,7 +73,6 @@ int main(int argc, char** argv) {
       t.row().cell(res.mechanism)
           .cell(static_cast<long>(res.series.bucket_start(b))).cell(rate, 4);
     }
-    sink.add(tasks[i], result);
     std::fflush(stdout);
   });
 

@@ -9,6 +9,7 @@
 
 #include <cstdio>
 
+#include "bench_util.hpp"
 #include "harness/experiment.hpp"
 #include "util/options.hpp"
 
@@ -18,7 +19,8 @@ int main(int argc, char** argv) {
   const Options opt(argc, argv);
   const int side = static_cast<int>(opt.get_int("side", 4));
   const long phits = opt.get_int("phits", 2000);
-  opt.warn_unknown();
+  const bench::CommonOptions common(opt);  // shared flags + warn_unknown
+  bench::warn_unused_distribution(common, "completion_race");
 
   ExperimentSpec base;
   base.sides = {side, side, side};

@@ -8,6 +8,7 @@
 
 #include <cstdio>
 
+#include "bench_util.hpp"
 #include "harness/experiment.hpp"
 #include "util/options.hpp"
 
@@ -27,7 +28,8 @@ void report(const char* title, const ResultRow& r) {
 int main(int argc, char** argv) {
   const Options opt(argc, argv);
   const int side = static_cast<int>(opt.get_int("side", 8));
-  opt.warn_unknown();
+  const bench::CommonOptions common(opt);  // shared flags + warn_unknown
+  bench::warn_unused_distribution(common, "fault_drill");
 
   ExperimentSpec base;
   base.sides = {side, side};

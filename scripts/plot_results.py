@@ -1,0 +1,203 @@
+#!/usr/bin/env python3
+"""Render throughput curves from ResultSink CSV artefacts.
+
+Reads the shared 24-column ResultSink schema every bench driver and
+hxsp_runner emit (see README "Persisted results") and renders the paper's
+curve figures: accepted throughput (or any scalar column) against offered
+load (fig04/fig05), fault count (fig06) or any `extra` key, one facet per
+traffic pattern, one line per routing mechanism.
+
+Stdlib-only by default; when matplotlib is installed a PNG is written
+(headless via the Agg backend), otherwise an ASCII rendition goes to
+stdout — so CI can smoke-check plotting without a display or any extra
+dependency.
+
+Examples:
+  build/fig06_random_faults --csv=fig06.csv
+  scripts/plot_results.py fig06.csv --x=faults --out=fig06.png
+  scripts/plot_results.py fig04.csv --x=offered --y=avg_latency
+"""
+
+import argparse
+import csv
+import sys
+
+# Fixed categorical hue order (validated colorblind-safe palette; assign
+# by series identity in first-seen order, never cycled past the end).
+PALETTE = [
+    "#2a78d6",  # blue
+    "#eb6834",  # orange
+    "#1baf7a",  # aqua
+    "#eda100",  # yellow
+    "#e87ba4",  # magenta
+    "#008300",  # green
+    "#4a3aa7",  # violet
+    "#e34948",  # red
+]
+SURFACE = "#fcfcfb"
+TEXT_PRIMARY = "#0b0b0b"
+TEXT_SECONDARY = "#52514e"
+GRID = "#e4e3df"
+
+
+def parse_extra(extra):
+    """'k=v;k2=v2' -> dict (values stay strings)."""
+    out = {}
+    for part in extra.split(";"):
+        if "=" in part:
+            key, value = part.split("=", 1)
+            out[key] = value
+    return out
+
+
+def load_rows(paths, kinds, driver):
+    rows = []
+    for path in paths:
+        with open(path, newline="") as f:
+            reader = csv.DictReader(f)
+            if reader.fieldnames is None or "driver" not in reader.fieldnames:
+                sys.exit(f"{path}: not a ResultSink CSV (missing header)")
+            for row in reader:
+                if kinds and row.get("kind") not in kinds:
+                    continue
+                if driver and row.get("driver") != driver:
+                    continue
+                rows.append(row)
+    return rows
+
+
+def x_value(row, x_key):
+    if x_key in row:
+        return float(row[x_key])
+    extra = parse_extra(row.get("extra", ""))
+    if x_key in extra:
+        return float(extra[x_key])
+    return None
+
+
+def collect_series(rows, x_key, y_key):
+    """-> (facets, series_order): facets maps pattern -> {mechanism ->
+    sorted [(x, y)]}; series_order is first-seen mechanism order, shared
+    by every facet so a mechanism keeps its hue across patterns."""
+    facets = {}
+    series_order = []
+    for row in rows:
+        x = x_value(row, x_key)
+        if x is None:
+            continue
+        try:
+            y = float(row.get(y_key, ""))
+        except ValueError:
+            continue
+        pattern = row.get("pattern") or "(no pattern)"
+        mech = row.get("mechanism") or row.get("label") or "(series)"
+        if mech not in series_order:
+            series_order.append(mech)
+        facets.setdefault(pattern, {}).setdefault(mech, []).append((x, y))
+    for facet in facets.values():
+        for points in facet.values():
+            points.sort()
+    return facets, series_order
+
+
+def render_ascii(facets, series_order, x_key, y_key, width=48):
+    """Text rendition: one block per facet, one row per x, a bar + value
+    per series (identity by name — no color needed on a terminal)."""
+    all_y = [y for facet in facets.values()
+             for pts in facet.values() for _, y in pts]
+    top = max(all_y) if all_y else 1.0
+    for pattern, facet in facets.items():
+        print(f"\n== pattern: {pattern}  ({y_key} vs {x_key}) ==")
+        for mech in series_order:
+            if mech not in facet:
+                continue
+            print(f"  {mech}")
+            for x, y in facet[mech]:
+                bar = "#" * max(1, int(width * y / top)) if top > 0 else ""
+                print(f"    {x_key}={x:<8g} {bar} {y:.4f}")
+    print()
+
+
+def render_png(facets, series_order, x_key, y_key, out, title):
+    import matplotlib
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    n = len(facets)
+    fig, axes = plt.subplots(1, n, figsize=(4.2 * n, 3.6), sharey=True,
+                             squeeze=False)
+    fig.patch.set_facecolor(SURFACE)
+    color = {m: PALETTE[i % len(PALETTE)] for i, m in enumerate(series_order)}
+    for ax, (pattern, facet) in zip(axes[0], sorted(facets.items())):
+        ax.set_facecolor(SURFACE)
+        for mech in series_order:
+            if mech not in facet:
+                continue
+            xs = [p[0] for p in facet[mech]]
+            ys = [p[1] for p in facet[mech]]
+            ax.plot(xs, ys, color=color[mech], linewidth=2, marker="o",
+                    markersize=4, label=mech)
+        ax.set_title(pattern, color=TEXT_PRIMARY, fontsize=11)
+        ax.set_xlabel(x_key, color=TEXT_SECONDARY, fontsize=9)
+        ax.grid(True, color=GRID, linewidth=0.8)
+        ax.tick_params(colors=TEXT_SECONDARY, labelsize=8)
+        for spine in ax.spines.values():
+            spine.set_color(GRID)
+    axes[0][0].set_ylabel(y_key, color=TEXT_SECONDARY, fontsize=9)
+    if len(series_order) >= 2:
+        axes[0][-1].legend(fontsize=8, frameon=False, labelcolor=TEXT_PRIMARY)
+    if title:
+        fig.suptitle(title, color=TEXT_PRIMARY, fontsize=12)
+    fig.tight_layout()
+    fig.savefig(out, dpi=144, facecolor=SURFACE)
+    print(f"wrote {out}")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("csv", nargs="+", help="ResultSink CSV file(s)")
+    ap.add_argument("--x", default="offered",
+                    help="x axis: a schema column (offered) or an extra "
+                         "key (faults, vcs, scale); default offered")
+    ap.add_argument("--y", default="accepted",
+                    help="y axis: a schema column; default accepted")
+    ap.add_argument("--kind", default="rate,dynamic",
+                    help="record kinds to plot (comma list); default "
+                         "rate,dynamic")
+    ap.add_argument("--driver", default="",
+                    help="only records of this driver (default: all)")
+    ap.add_argument("--where", action="append", default=[],
+                    metavar="KEY=VALUE",
+                    help="keep only rows whose column or extra key equals "
+                         "VALUE (repeatable), e.g. --where dims=2")
+    ap.add_argument("--out", default="results.png", help="output PNG path")
+    ap.add_argument("--ascii", action="store_true",
+                    help="force the ASCII rendition even with matplotlib")
+    args = ap.parse_args()
+
+    kinds = {k for k in args.kind.split(",") if k}
+    rows = load_rows(args.csv, kinds, args.driver)
+    for cond in args.where:
+        if "=" not in cond:
+            sys.exit(f"--where expects KEY=VALUE, got {cond!r}")
+        key, value = cond.split("=", 1)
+        rows = [r for r in rows
+                if (r.get(key) if key in r else
+                    parse_extra(r.get("extra", "")).get(key)) == value]
+    facets, series_order = collect_series(rows, args.x, args.y)
+    if not facets:
+        sys.exit(f"no plottable records (kinds={sorted(kinds)}, "
+                 f"x={args.x}, y={args.y})")
+
+    title = args.driver or (rows[0].get("driver", "") if rows else "")
+    if not args.ascii:
+        try:
+            render_png(facets, series_order, args.x, args.y, args.out, title)
+            return
+        except ImportError:
+            print("matplotlib not available; ASCII rendition:", file=sys.stderr)
+    render_ascii(facets, series_order, args.x, args.y)
+
+
+if __name__ == "__main__":
+    main()

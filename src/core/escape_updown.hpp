@@ -45,6 +45,15 @@ struct EscapePenalties {
   int red3 = 48;   ///< shortcut reducing udist by >= 3
 };
 
+/// Field-wise equality (spec serialization round-trip checks).
+inline bool operator==(const EscapePenalties& a, const EscapePenalties& b) {
+  return a.up == b.up && a.down == b.down && a.red1 == b.red1 &&
+         a.red2 == b.red2 && a.red3 == b.red3;
+}
+inline bool operator!=(const EscapePenalties& a, const EscapePenalties& b) {
+  return !(a == b);
+}
+
 /// An escape candidate produced for the allocator.
 struct EscapeCand {
   Port port = kInvalid;

@@ -2,15 +2,118 @@
 
 #include <algorithm>
 
+#include "util/jsonio.hpp"
 #include "util/log.hpp"
 
 namespace hxsp {
 
+// ---------------------------------------------------------------------------
+// Spec equality and JSON codec. Every field is serialized; the codec is
+// the lossless transport the distributed sweep layer (TaskSpec manifests,
+// hxsp_runner) rides on, so adding a spec field means extending BOTH
+// spec_write_json and spec_from_json, plus operator== below — the
+// round-trip tests fail otherwise.
+// ---------------------------------------------------------------------------
+
+bool operator==(const ExperimentSpec& a, const ExperimentSpec& b) {
+  return a.sides == b.sides && a.servers_per_switch == b.servers_per_switch &&
+         a.mechanism == b.mechanism && a.pattern == b.pattern &&
+         a.sim == b.sim && a.fault_links == b.fault_links &&
+         a.escape_root == b.escape_root &&
+         a.escape_strict_phase == b.escape_strict_phase &&
+         a.escape_shortcuts == b.escape_shortcuts &&
+         a.escape_penalties == b.escape_penalties && a.warmup == b.warmup &&
+         a.measure == b.measure && a.seed == b.seed;
+}
+
+void spec_write_json(JsonWriter& w, const ExperimentSpec& s) {
+  w.begin_object();
+  w.key("sides").begin_array();
+  for (int side : s.sides) w.value(side);
+  w.end_array();
+  w.key("servers_per_switch").value(s.servers_per_switch);
+  w.key("mechanism").value(s.mechanism);
+  w.key("pattern").value(s.pattern);
+  w.key("sim").begin_object();
+  w.key("packet_length").value(s.sim.packet_length);
+  w.key("input_buffer_packets").value(s.sim.input_buffer_packets);
+  w.key("output_buffer_packets").value(s.sim.output_buffer_packets);
+  w.key("link_latency").value(s.sim.link_latency);
+  w.key("xbar_latency").value(s.sim.xbar_latency);
+  w.key("xbar_speedup").value(s.sim.xbar_speedup);
+  w.key("num_vcs").value(s.sim.num_vcs);
+  w.key("server_queue_packets").value(s.sim.server_queue_packets);
+  w.key("watchdog_cycles").value(static_cast<std::int64_t>(s.sim.watchdog_cycles));
+  w.end_object();
+  w.key("fault_links").begin_array();
+  for (LinkId l : s.fault_links) w.value(static_cast<std::int64_t>(l));
+  w.end_array();
+  w.key("escape_root").value(static_cast<std::int64_t>(s.escape_root));
+  w.key("escape_strict_phase").value(s.escape_strict_phase);
+  w.key("escape_shortcuts").value(s.escape_shortcuts);
+  w.key("escape_penalties").begin_object();
+  w.key("up").value(s.escape_penalties.up);
+  w.key("down").value(s.escape_penalties.down);
+  w.key("red1").value(s.escape_penalties.red1);
+  w.key("red2").value(s.escape_penalties.red2);
+  w.key("red3").value(s.escape_penalties.red3);
+  w.end_object();
+  w.key("warmup").value(static_cast<std::int64_t>(s.warmup));
+  w.key("measure").value(static_cast<std::int64_t>(s.measure));
+  w.key("seed").value(static_cast<std::uint64_t>(s.seed));
+  w.end_object();
+}
+
+std::string spec_to_json(const ExperimentSpec& spec) {
+  JsonWriter w;
+  spec_write_json(w, spec);
+  return w.str();
+}
+
+ExperimentSpec spec_from_json(const JsonValue& v) {
+  ExperimentSpec s;
+  s.sides.clear();
+  for (const JsonValue& side : v.at("sides").array())
+    s.sides.push_back(side.as_int());
+  s.servers_per_switch = v.at("servers_per_switch").as_int();
+  s.mechanism = v.at("mechanism").as_string();
+  s.pattern = v.at("pattern").as_string();
+  const JsonValue& sim = v.at("sim");
+  s.sim.packet_length = sim.at("packet_length").as_int();
+  s.sim.input_buffer_packets = sim.at("input_buffer_packets").as_int();
+  s.sim.output_buffer_packets = sim.at("output_buffer_packets").as_int();
+  s.sim.link_latency = sim.at("link_latency").as_int();
+  s.sim.xbar_latency = sim.at("xbar_latency").as_int();
+  s.sim.xbar_speedup = sim.at("xbar_speedup").as_int();
+  s.sim.num_vcs = sim.at("num_vcs").as_int();
+  s.sim.server_queue_packets = sim.at("server_queue_packets").as_int();
+  s.sim.watchdog_cycles = sim.at("watchdog_cycles").as_i64();
+  s.fault_links.clear();
+  for (const JsonValue& l : v.at("fault_links").array())
+    s.fault_links.push_back(static_cast<LinkId>(l.as_i64()));
+  s.escape_root = static_cast<SwitchId>(v.at("escape_root").as_i64());
+  s.escape_strict_phase = v.at("escape_strict_phase").as_bool();
+  s.escape_shortcuts = v.at("escape_shortcuts").as_bool();
+  const JsonValue& pen = v.at("escape_penalties");
+  s.escape_penalties.up = pen.at("up").as_int();
+  s.escape_penalties.down = pen.at("down").as_int();
+  s.escape_penalties.red1 = pen.at("red1").as_int();
+  s.escape_penalties.red2 = pen.at("red2").as_int();
+  s.escape_penalties.red3 = pen.at("red3").as_int();
+  s.warmup = v.at("warmup").as_i64();
+  s.measure = v.at("measure").as_i64();
+  s.seed = v.at("seed").as_u64();
+  return s;
+}
+
+ExperimentSpec spec_from_json_text(const std::string& text) {
+  return spec_from_json(JsonValue::parse(text));
+}
+
 Experiment::Experiment(const ExperimentSpec& spec)
     : spec_(spec), rng_(spec.seed) {
-  const int sps = spec_.servers_per_switch < 0 ? spec_.sides.at(0)
-                                               : spec_.servers_per_switch;
-  hx_ = std::make_unique<HyperX>(spec_.sides, sps);
+  hx_ = std::make_unique<HyperX>(spec_.sides,
+                                 spec_.resolved_servers_per_switch());
   apply_faults(hx_->graph(), spec_.fault_links);
   HXSP_CHECK_MSG(hx_->graph().connected(),
                  "fault set disconnects the network; experiment undefined");

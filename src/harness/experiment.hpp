@@ -46,7 +46,37 @@ struct ExperimentSpec {
   Cycle warmup = 4000;
   Cycle measure = 8000;
   std::uint64_t seed = 1;
+
+  /// The servers-per-switch value this spec actually runs with: the
+  /// explicit count, or the first side when the field is left at -1 (the
+  /// paper convention). Every consumer — Experiment, benches, tools —
+  /// must resolve through here so the -1 default means one thing.
+  int resolved_servers_per_switch() const {
+    return servers_per_switch < 0 ? sides.at(0) : servers_per_switch;
+  }
 };
+
+/// Field-wise equality (serialization round-trip checks).
+bool operator==(const ExperimentSpec& a, const ExperimentSpec& b);
+inline bool operator!=(const ExperimentSpec& a, const ExperimentSpec& b) {
+  return !(a == b);
+}
+
+class JsonValue;
+class JsonWriter;
+
+/// Serializes every field of \p spec as one JSON object. Doubles use 17
+/// significant digits, so spec_from_json(spec_to_json(s)) == s exactly;
+/// this codec is what lets a sweep grid leave the process (TaskSpec
+/// manifests, the hxsp_runner tool).
+std::string spec_to_json(const ExperimentSpec& spec);
+
+/// Appends the spec object to an in-progress \p w (after w.key(...)).
+void spec_write_json(JsonWriter& w, const ExperimentSpec& spec);
+
+/// Inverse of spec_to_json; aborts (HXSP_CHECK) on missing keys.
+ExperimentSpec spec_from_json(const JsonValue& v);
+ExperimentSpec spec_from_json_text(const std::string& text);
 
 /// A link failure injected while the simulation runs (extension of the
 /// paper's static-fault evaluation; exercises the "recompute the routing
@@ -55,6 +85,13 @@ struct FaultEvent {
   Cycle at = 0;        ///< cycle at which the link dies
   LinkId link = kInvalid;
 };
+
+inline bool operator==(const FaultEvent& a, const FaultEvent& b) {
+  return a.at == b.at && a.link == b.link;
+}
+inline bool operator!=(const FaultEvent& a, const FaultEvent& b) {
+  return !(a == b);
+}
 
 /// Result of a dynamic-fault run.
 struct DynamicResult {

@@ -1,0 +1,98 @@
+#include "harness/runner.hpp"
+
+#include <cstdio>
+#include <set>
+
+#include "harness/sweep.hpp"
+#include "util/check.hpp"
+
+namespace hxsp {
+
+RunnerReport run_manifest(const std::vector<TaskSpec>& tasks,
+                          const RunnerOptions& opts) {
+  RunnerReport report;
+  report.manifest_tasks = tasks.size();
+
+  // Resume: the checkpoint's clean prefix defines the completed set; any
+  // trailing partial row from a crash is truncated away so the file is a
+  // pure sequence of whole records before we append to it.
+  std::set<std::string> completed;
+  if (!opts.csv_path.empty()) {
+    std::string existing;
+    if (try_read_file(opts.csv_path, &existing)) {
+      std::string clean;
+      report.records = ResultSink::parse_csv_checkpoint(existing, &clean);
+      // An empty clean prefix means either a run killed while writing
+      // the header (content is a strict prefix of the header: restart
+      // from scratch) or a foreign file — refuse to clobber the latter.
+      HXSP_CHECK_MSG(!clean.empty() || existing.empty() ||
+                         ResultSink::csv_header().compare(
+                             0, existing.size(), existing) == 0,
+                     "existing --csv file is not a result checkpoint");
+      if (clean != existing) {
+        HXSP_CHECK_MSG(write_whole_file(opts.csv_path, clean),
+                       "cannot rewrite checkpoint file");
+        if (!opts.quiet)
+          std::fprintf(stderr,
+                       "hxsp_runner: dropped %zu trailing bytes of a "
+                       "partial record from %s\n",
+                       existing.size() - clean.size(), opts.csv_path.c_str());
+      }
+      for (const ResultRecord& rec : report.records)
+        if (!rec.task_id.empty()) completed.insert(rec.task_id);
+    }
+  }
+
+  std::vector<TaskSpec> todo;
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    HXSP_CHECK_MSG(!tasks[i].id.empty(),
+                   "manifest task without an id (route grids through "
+                   "TaskGrid / --emit-tasks)");
+    if (!opts.shard.covers(i)) continue;
+    ++report.shard_tasks;
+    if (completed.count(tasks[i].id)) {
+      ++report.resumed;
+      continue;
+    }
+    todo.push_back(tasks[i]);
+  }
+
+  std::FILE* out = nullptr;
+  if (!opts.csv_path.empty()) {
+    const bool fresh = report.records.empty();
+    out = std::fopen(opts.csv_path.c_str(), fresh ? "wb" : "ab");
+    HXSP_CHECK_MSG(out != nullptr, "cannot open checkpoint file for append");
+    if (fresh) {
+      const std::string header = ResultSink::csv_header();
+      HXSP_CHECK(std::fwrite(header.data(), 1, header.size(), out) ==
+                 header.size());
+      std::fflush(out);
+    }
+  }
+
+  ParallelSweep sweep(opts.jobs);
+  sweep.run_tasks(todo, [&](std::size_t i, const TaskResult& result) {
+    ResultRecord rec = make_record(todo[i], result);
+    if (out) {
+      const std::string line = ResultSink::csv_line(rec);
+      HXSP_CHECK_MSG(std::fwrite(line.data(), 1, line.size(), out) ==
+                         line.size(),
+                     "short write to checkpoint file");
+      std::fflush(out);
+    }
+    if (!opts.quiet)
+      std::fprintf(stderr, "hxsp_runner: [%zu/%zu] %s done\n", i + 1,
+                   todo.size(), todo[i].id.c_str());
+    report.records.push_back(std::move(rec));
+    ++report.executed;
+  });
+  if (out) std::fclose(out);
+
+  if (!opts.json_path.empty())
+    HXSP_CHECK_MSG(write_whole_file(opts.json_path,
+                                    ResultSink::json(report.records)),
+                   "cannot write JSON output");
+  return report;
+}
+
+} // namespace hxsp

@@ -1,0 +1,48 @@
+#pragma once
+/// \file runner.hpp
+/// Manifest execution with checkpoint/resume — the library behind the
+/// hxsp_runner tool, exposed so tests can drive kill-and-resume without
+/// spawning processes.
+///
+/// A run takes an ordered TaskSpec list (a --emit-tasks manifest), keeps
+/// only its --shard slice, skips every task whose id already appears in
+/// the CSV checkpoint file, executes the rest through ParallelSweep and
+/// appends one CSV row per record as it is delivered (in submission
+/// order, flushed per row). Because delivery order is grid order and ids
+/// are stable, a run killed at any byte and restarted with the same
+/// manifest and file converges to output byte-identical to a single
+/// uninterrupted run; a partial trailing row is truncated away on load.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "harness/grid.hpp"
+#include "metrics/resultsink.hpp"
+#include "util/fileio.hpp"
+
+namespace hxsp {
+
+struct RunnerOptions {
+  int jobs = 0;               ///< ParallelSweep workers (0 = hardware)
+  ShardSpec shard;            ///< slice of the manifest to run
+  std::string csv_path;       ///< checkpoint + CSV output ("" = in-memory)
+  std::string json_path;      ///< JSON output, written on completion ("")
+  bool quiet = false;         ///< suppress per-task progress lines
+};
+
+struct RunnerReport {
+  std::size_t manifest_tasks = 0;  ///< tasks in the manifest
+  std::size_t shard_tasks = 0;     ///< tasks in this process's shard
+  std::size_t resumed = 0;         ///< shard tasks already in the checkpoint
+  std::size_t executed = 0;        ///< tasks actually simulated now
+  std::vector<ResultRecord> records;  ///< full record set after the run
+};
+
+/// Executes \p tasks under \p opts as described above. Aborts
+/// (HXSP_CHECK) when a task id is empty or the checkpoint/output file
+/// cannot be written.
+RunnerReport run_manifest(const std::vector<TaskSpec>& tasks,
+                          const RunnerOptions& opts);
+
+} // namespace hxsp

@@ -2,76 +2,9 @@
 
 namespace hxsp {
 
-const char* task_kind_name(TaskKind kind) {
-  switch (kind) {
-    case TaskKind::kRate: return "rate";
-    case TaskKind::kCompletion: return "completion";
-    case TaskKind::kDynamic: return "dynamic";
-  }
-  return "?";
-}
-
-SweepTask SweepTask::rate(ExperimentSpec spec, double offered) {
-  SweepTask t;
-  t.kind = TaskKind::kRate;
-  t.spec = std::move(spec);
-  t.offered = offered;
-  return t;
-}
-
-SweepTask SweepTask::completion(ExperimentSpec spec, long packets_per_server,
-                                Cycle bucket_width, Cycle max_cycles) {
-  SweepTask t;
-  t.kind = TaskKind::kCompletion;
-  t.spec = std::move(spec);
-  t.packets_per_server = packets_per_server;
-  t.bucket_width = bucket_width;
-  t.max_cycles = max_cycles;
-  return t;
-}
-
-SweepTask SweepTask::dynamic_faults(ExperimentSpec spec, double offered,
-                                    std::vector<FaultEvent> events) {
-  SweepTask t;
-  t.kind = TaskKind::kDynamic;
-  t.spec = std::move(spec);
-  t.offered = offered;
-  t.events = std::move(events);
-  return t;
-}
-
-TaskKind task_result_kind(const TaskResult& result) {
-  switch (result.index()) {
-    case 0: return TaskKind::kRate;
-    case 1: return TaskKind::kCompletion;
-    default: return TaskKind::kDynamic;
-  }
-}
-
-const ResultRow* task_result_row(const TaskResult& result) {
-  if (const ResultRow* row = std::get_if<ResultRow>(&result)) return row;
-  if (const DynamicResult* dyn = std::get_if<DynamicResult>(&result))
-    return &dyn->row;
-  return nullptr;
-}
-
 ResultRow run_sweep_point(const SweepPoint& point) {
   Experiment e(point.spec);
   return e.run_load(point.offered);
-}
-
-TaskResult run_sweep_task(const SweepTask& task) {
-  Experiment e(task.spec);
-  switch (task.kind) {
-    case TaskKind::kCompletion:
-      return e.run_completion(task.packets_per_server, task.bucket_width,
-                              task.max_cycles);
-    case TaskKind::kDynamic:
-      return e.run_load_dynamic(task.offered, task.events);
-    case TaskKind::kRate:
-      break;
-  }
-  return e.run_load(task.offered);
 }
 
 ParallelSweep::ParallelSweep(int workers) : pool_(workers) {}
@@ -86,11 +19,10 @@ std::vector<ResultRow> ParallelSweep::run(
 }
 
 std::vector<TaskResult> ParallelSweep::run_tasks(
-    const std::vector<SweepTask>& tasks,
+    const std::vector<TaskSpec>& tasks,
     const std::function<void(std::size_t, const TaskResult&)>& on_result) {
   return map<TaskResult>(
-      tasks.size(),
-      [&tasks](std::size_t i) { return run_sweep_task(tasks[i]); },
+      tasks.size(), [&tasks](std::size_t i) { return run_task(tasks[i]); },
       on_result);
 }
 
@@ -116,12 +48,13 @@ std::vector<SweepPoint> ParallelSweep::expand_seeds(const ExperimentSpec& spec,
   return points;
 }
 
-std::vector<SweepTask> ParallelSweep::expand_task_seeds(
-    const SweepTask& proto, std::uint64_t first_seed, int trials) {
-  std::vector<SweepTask> tasks;
+std::vector<TaskSpec> ParallelSweep::expand_task_seeds(const TaskSpec& proto,
+                                                       std::uint64_t first_seed,
+                                                       int trials) {
+  std::vector<TaskSpec> tasks;
   tasks.reserve(static_cast<std::size_t>(trials));
   for (int t = 0; t < trials; ++t) {
-    SweepTask task = proto;
+    TaskSpec task = proto;
     task.spec.seed = first_seed + static_cast<std::uint64_t>(t);
     tasks.push_back(std::move(task));
   }

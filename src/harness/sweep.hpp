@@ -16,12 +16,10 @@
 ///    the engine's core. Exception-safe (a throw from the function or the
 ///    delivery callback drains the pool before unwinding) and ordered
 ///    (delivery strictly in index order on the calling thread).
-///  - run_tasks(): the tagged task model. A SweepTask is rate-mode
-///    (Experiment::run_load -> ResultRow), completion-mode
-///    (run_completion -> CompletionResult) or dynamic-fault-mode
-///    (run_load_dynamic -> DynamicResult); results come back as a
-///    TaskResult variant. This covers every simulation the paper's
-///    figures need.
+///  - run_tasks(): executes TaskSpecs (see harness/taskspec.hpp) — the
+///    serializable task model shared by the in-process fast path, the
+///    --shard/--emit-tasks grid API and the hxsp_runner tool. Results
+///    come back as TaskResult variants matching each task's kind.
 ///  - run(): the original rate-only convenience (SweepPoint -> ResultRow),
 ///    kept because most grids are pure rate sweeps.
 
@@ -31,10 +29,9 @@
 #include <exception>
 #include <functional>
 #include <mutex>
-#include <variant>
 #include <vector>
 
-#include "harness/experiment.hpp"
+#include "harness/taskspec.hpp"
 #include "util/thread_pool.hpp"
 
 namespace hxsp {
@@ -45,49 +42,6 @@ struct SweepPoint {
   ExperimentSpec spec;
   double offered = 1.0;
 };
-
-/// Which Experiment entry point a SweepTask runs.
-enum class TaskKind { kRate, kCompletion, kDynamic };
-
-/// Stable lowercase name for a kind ("rate" / "completion" / "dynamic");
-/// this is also the string ResultSink persists.
-const char* task_kind_name(TaskKind kind);
-
-/// One independent simulation of any kind: a full spec plus the
-/// parameters of whichever Experiment entry point \ref kind selects.
-/// Build with the factories below; unused fields are ignored.
-struct SweepTask {
-  TaskKind kind = TaskKind::kRate;
-  ExperimentSpec spec;
-
-  double offered = 1.0;            ///< rate + dynamic modes
-  long packets_per_server = 0;     ///< completion mode
-  Cycle bucket_width = 1000;       ///< completion mode
-  Cycle max_cycles = 0;            ///< completion mode (deadline)
-  std::vector<FaultEvent> events;  ///< dynamic mode (online failures)
-
-  /// Rate-mode task: Experiment::run_load(offered).
-  static SweepTask rate(ExperimentSpec spec, double offered);
-
-  /// Completion-mode task: Experiment::run_completion(...).
-  static SweepTask completion(ExperimentSpec spec, long packets_per_server,
-                              Cycle bucket_width, Cycle max_cycles);
-
-  /// Dynamic-fault task: Experiment::run_load_dynamic(offered, events).
-  static SweepTask dynamic_faults(ExperimentSpec spec, double offered,
-                                  std::vector<FaultEvent> events);
-};
-
-/// Tagged result of a SweepTask; the alternative matches the task's kind.
-using TaskResult = std::variant<ResultRow, CompletionResult, DynamicResult>;
-
-/// Kind of the alternative held by \p result.
-TaskKind task_result_kind(const TaskResult& result);
-
-/// The scalar ResultRow embedded in \p result: the row itself for rate
-/// results, DynamicResult::row for dynamic ones, nullptr for completion
-/// results (which have no rate-style scalars).
-const ResultRow* task_result_row(const TaskResult& result);
 
 /// Fans independent work across worker threads and merges results in
 /// submission order. The pool persists across run() calls, so one
@@ -114,7 +68,7 @@ class ParallelSweep {
   /// Runs every task (any mix of kinds); result i holds tasks[i]'s
   /// TaskResult. Ordering and exception semantics are exactly run()'s.
   std::vector<TaskResult> run_tasks(
-      const std::vector<SweepTask>& tasks,
+      const std::vector<TaskSpec>& tasks,
       const std::function<void(std::size_t, const TaskResult&)>& on_result = {});
 
   /// Deterministic ordered parallel map: evaluates fn(0) .. fn(n-1) on
@@ -192,9 +146,11 @@ class ParallelSweep {
                                               int trials);
 
   /// \p proto repeated over \p trials seeds, keeping its kind/parameters.
-  static std::vector<SweepTask> expand_task_seeds(const SweepTask& proto,
-                                                  std::uint64_t first_seed,
-                                                  int trials);
+  /// Task ids are NOT adjusted; route the result through a TaskGrid when
+  /// stable ids are needed.
+  static std::vector<TaskSpec> expand_task_seeds(const TaskSpec& proto,
+                                                 std::uint64_t first_seed,
+                                                 int trials);
 
  private:
   ThreadPool pool_;
@@ -203,9 +159,5 @@ class ParallelSweep {
 /// Runs one rate point to completion (what each worker executes); exposed
 /// so tests can compare the serial and parallel paths directly.
 ResultRow run_sweep_point(const SweepPoint& point);
-
-/// Runs one task of any kind to completion on a fresh Experiment; the
-/// serial reference for the parallel engine's bit-identity contract.
-TaskResult run_sweep_task(const SweepTask& task);
 
 } // namespace hxsp

@@ -1,9 +1,12 @@
 #include "metrics/resultsink.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
+#include "util/fileio.hpp"
+#include "util/jsonio.hpp"
 #include "util/check.hpp"
 
 namespace hxsp {
@@ -144,33 +147,11 @@ std::vector<std::vector<std::string>> csv_rows(const std::string& text) {
 }
 
 // ---------------------------------------------------------------------------
-// JSON escaping and a minimal parser for the subset json() emits: an
-// array of flat objects whose values are strings, numbers, booleans or
-// arrays of integers.
+// A minimal parser for the subset json() emits: an array of flat objects
+// whose values are strings, numbers, booleans or arrays of integers.
+// (Escaping on the write side is the shared json_escape_string from
+// util/jsonio.)
 // ---------------------------------------------------------------------------
-
-std::string json_escape(const std::string& s) {
-  std::string out;
-  for (char ch : s) {
-    const unsigned char c = static_cast<unsigned char>(ch);
-    switch (ch) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (c < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += ch;
-        }
-    }
-  }
-  return out;
-}
 
 class JsonParser {
  public:
@@ -325,6 +306,7 @@ class JsonParser {
 /// between a record and its serialized fields.
 std::vector<std::string> record_fields(const ResultRecord& r) {
   return {r.driver,
+          r.task_id,
           r.kind,
           r.label,
           r.mechanism,
@@ -355,50 +337,43 @@ ResultRecord record_from_fields(const std::vector<std::string>& f) {
                  "result record has wrong column count");
   ResultRecord r;
   r.driver = f[0];
-  r.kind = f[1];
-  r.label = f[2];
-  r.mechanism = f[3];
-  r.pattern = f[4];
-  r.offered = parse_double(f[5]);
-  r.seed = parse_u64(f[6]);
-  r.generated = parse_double(f[7]);
-  r.accepted = parse_double(f[8]);
-  r.avg_latency = parse_double(f[9]);
-  r.jain = parse_double(f[10]);
-  r.escape_frac = parse_double(f[11]);
-  r.forced_frac = parse_double(f[12]);
-  r.p99_latency = parse_i64(f[13]);
-  r.cycles = parse_i64(f[14]);
-  r.packets = parse_i64(f[15]);
-  r.num_servers = parse_i64(f[16]);
-  r.dropped = parse_i64(f[17]);
-  r.drained = f[18] == "1" || f[18] == "true";
-  r.completion_time = parse_i64(f[19]);
-  r.series_width = parse_i64(f[20]);
-  r.series = split_series(f[21]);
-  r.extra = f[22];
+  r.task_id = f[1];
+  r.kind = f[2];
+  r.label = f[3];
+  r.mechanism = f[4];
+  r.pattern = f[5];
+  r.offered = parse_double(f[6]);
+  r.seed = parse_u64(f[7]);
+  r.generated = parse_double(f[8]);
+  r.accepted = parse_double(f[9]);
+  r.avg_latency = parse_double(f[10]);
+  r.jain = parse_double(f[11]);
+  r.escape_frac = parse_double(f[12]);
+  r.forced_frac = parse_double(f[13]);
+  r.p99_latency = parse_i64(f[14]);
+  r.cycles = parse_i64(f[15]);
+  r.packets = parse_i64(f[16]);
+  r.num_servers = parse_i64(f[17]);
+  r.dropped = parse_i64(f[18]);
+  r.drained = f[19] == "1" || f[19] == "true";
+  r.completion_time = parse_i64(f[20]);
+  r.series_width = parse_i64(f[21]);
+  r.series = split_series(f[22]);
+  r.extra = f[23];
   return r;
 }
 
 /// True for the columns serialized as JSON strings (everything else is a
 /// number, boolean or array).
 bool is_string_column(std::size_t col) {
-  return col <= 4 || col == ResultSink::columns().size() - 1;
-}
-
-bool write_file(const std::string& path, const std::string& content) {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (!f) return false;
-  const std::size_t n = std::fwrite(content.data(), 1, content.size(), f);
-  const bool ok = n == content.size() && std::fclose(f) == 0;
-  if (n != content.size()) std::fclose(f);
-  return ok;
+  return col <= 5 || col == ResultSink::columns().size() - 1;
 }
 
 } // namespace
 
 bool operator==(const ResultRecord& a, const ResultRecord& b) {
-  return a.driver == b.driver && a.kind == b.kind && a.label == b.label &&
+  return a.driver == b.driver && a.task_id == b.task_id && a.kind == b.kind &&
+         a.label == b.label &&
          a.mechanism == b.mechanism && a.pattern == b.pattern &&
          a.offered == b.offered && a.seed == b.seed &&
          a.generated == b.generated && a.accepted == b.accepted &&
@@ -416,12 +391,12 @@ ResultSink::ResultSink(std::string driver) : driver_(std::move(driver)) {}
 
 const std::vector<std::string>& ResultSink::columns() {
   static const std::vector<std::string> cols = {
-      "driver",      "kind",        "label",       "mechanism",
-      "pattern",     "offered",     "seed",        "generated",
-      "accepted",    "avg_latency", "jain",        "escape_frac",
-      "forced_frac", "p99_latency", "cycles",      "packets",
-      "num_servers", "dropped",     "drained",     "completion_time",
-      "series_width", "series",     "extra"};
+      "driver",      "task_id",     "kind",        "label",
+      "mechanism",   "pattern",     "offered",     "seed",
+      "generated",   "accepted",    "avg_latency", "jain",
+      "escape_frac", "forced_frac", "p99_latency", "cycles",
+      "packets",     "num_servers", "dropped",     "drained",
+      "completion_time", "series_width", "series", "extra"};
   return cols;
 }
 
@@ -430,12 +405,17 @@ void ResultSink::add(ResultRecord rec) {
   records_.push_back(std::move(rec));
 }
 
-void ResultSink::add(const SweepTask& task, const TaskResult& result,
-                     std::string label, std::string extra) {
+void ResultSink::add(const TaskSpec& task, const TaskResult& result) {
+  add(make_record(task, result));
+}
+
+ResultRecord make_record(const TaskSpec& task, const TaskResult& result) {
   ResultRecord rec;
+  rec.driver = task.driver();
+  rec.task_id = task.id;
   rec.kind = task_kind_name(task.kind);
-  rec.label = std::move(label);
-  rec.extra = std::move(extra);
+  rec.label = task.label;
+  rec.extra = task.extra;
   rec.seed = task.spec.seed;
 
   if (const ResultRow* row = task_result_row(result)) {
@@ -469,17 +449,19 @@ void ResultSink::add(const SweepTask& task, const TaskResult& result,
     for (std::size_t b = 0; b < d->series.num_buckets(); ++b)
       rec.series.push_back(d->series.bucket(b));
   }
-  add(std::move(rec));
+  return rec;
 }
 
 void ResultSink::add_row(const ResultRow& row, std::uint64_t seed,
                          std::string label, std::string extra) {
-  SweepTask task;  // rate-mode wrapper so the mapping lives in one place
+  TaskSpec task;  // rate-mode wrapper so the mapping lives in one place
   task.spec.seed = seed;
-  add(task, TaskResult(row), std::move(label), std::move(extra));
+  task.label = std::move(label);
+  task.extra = std::move(extra);
+  add(task, TaskResult(row));
 }
 
-std::string ResultSink::csv() const {
+std::string ResultSink::csv_header() {
   std::string out;
   const auto& cols = columns();
   for (std::size_t i = 0; i < cols.size(); ++i) {
@@ -487,23 +469,32 @@ std::string ResultSink::csv() const {
     out += cols[i];
   }
   out += '\n';
-  for (const ResultRecord& rec : records_) {
-    const auto fields = record_fields(rec);
-    for (std::size_t i = 0; i < fields.size(); ++i) {
-      if (i) out += ',';
-      out += csv_escape(fields[i]);
-    }
-    out += '\n';
-  }
   return out;
 }
 
-std::string ResultSink::json() const {
+std::string ResultSink::csv_line(const ResultRecord& rec) {
+  std::string out;
+  const auto fields = record_fields(rec);
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) out += ',';
+    out += csv_escape(fields[i]);
+  }
+  out += '\n';
+  return out;
+}
+
+std::string ResultSink::csv(const std::vector<ResultRecord>& records) {
+  std::string out = csv_header();
+  for (const ResultRecord& rec : records) out += csv_line(rec);
+  return out;
+}
+
+std::string ResultSink::json(const std::vector<ResultRecord>& records) {
   const auto& cols = columns();
   std::string out = "[";
-  for (std::size_t r = 0; r < records_.size(); ++r) {
+  for (std::size_t r = 0; r < records.size(); ++r) {
     out += r ? ",\n " : "\n ";
-    const auto fields = record_fields(records_[r]);
+    const auto fields = record_fields(records[r]);
     out += '{';
     for (std::size_t i = 0; i < fields.size(); ++i) {
       if (i) out += ',';
@@ -512,17 +503,17 @@ std::string ResultSink::json() const {
       out += "\":";
       if (cols[i] == "series") {
         out += '[';
-        const auto& series = records_[r].series;
+        const auto& series = records[r].series;
         for (std::size_t b = 0; b < series.size(); ++b) {
           if (b) out += ',';
           out += fmt_i64(series[b]);
         }
         out += ']';
       } else if (cols[i] == "drained") {
-        out += records_[r].drained ? "true" : "false";
+        out += records[r].drained ? "true" : "false";
       } else if (is_string_column(i)) {
         out += '"';
-        out += json_escape(fields[i]);
+        out += json_escape_string(fields[i]);
         out += '"';
       } else {
         out += fields[i];
@@ -535,11 +526,11 @@ std::string ResultSink::json() const {
 }
 
 bool ResultSink::write_csv(const std::string& path) const {
-  return write_file(path, csv());
+  return write_whole_file(path, csv());
 }
 
 bool ResultSink::write_json(const std::string& path) const {
-  return write_file(path, json());
+  return write_whole_file(path, json());
 }
 
 std::vector<ResultRecord> ResultSink::parse_csv(const std::string& text) {
@@ -552,6 +543,54 @@ std::vector<ResultRecord> ResultSink::parse_csv(const std::string& text) {
   for (std::size_t i = 1; i < rows.size(); ++i)
     records.push_back(record_from_fields(rows[i]));
   return records;
+}
+
+std::vector<ResultRecord> ResultSink::parse_csv_checkpoint(
+    const std::string& text, std::string* clean_prefix) {
+  // Split into complete (newline-terminated) lines, honouring quoted
+  // fields that may span lines; a trailing chunk without its newline is
+  // exactly what a kill mid-write leaves behind and is never parsed.
+  std::vector<std::string> lines;
+  std::string line;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '"') in_quotes = !in_quotes;
+    if (c == '\n' && !in_quotes) {
+      lines.push_back(line + '\n');
+      line.clear();
+    } else {
+      line += c;
+    }
+  }
+
+  std::vector<ResultRecord> records;
+  std::string prefix;
+  if (lines.empty() || lines.front() != csv_header()) {
+    if (clean_prefix) *clean_prefix = "";
+    return records;
+  }
+  prefix = lines.front();
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const auto rows = csv_rows(lines[i]);
+    if (rows.size() != 1 || rows.front().size() != columns().size())
+      break;  // a malformed row ends the clean prefix
+    records.push_back(record_from_fields(rows.front()));
+    prefix += lines[i];
+  }
+  if (clean_prefix) *clean_prefix = std::move(prefix);
+  return records;
+}
+
+std::vector<ResultRecord> ResultSink::merge(
+    const std::vector<std::vector<ResultRecord>>& parts) {
+  std::vector<ResultRecord> all;
+  for (const auto& part : parts) all.insert(all.end(), part.begin(), part.end());
+  std::stable_sort(all.begin(), all.end(),
+                   [](const ResultRecord& a, const ResultRecord& b) {
+                     return a.task_id < b.task_id;
+                   });
+  return all;
 }
 
 std::vector<ResultRecord> ResultSink::parse_json(const std::string& text) {

@@ -7,23 +7,30 @@
 /// schema shared by all of them. A ResultSink collects ResultRecords —
 /// one per simulation of any kind (rate, completion, dynamic) or per
 /// pure-graph measurement — and serializes them as CSV or JSON with a
-/// fixed column set: driver identity, configuration (mechanism, pattern,
-/// offered load, seed), the scalar metrics of ResultRow, the mode
-/// specific scalars (dropped, drained, completion_time) and an optional
-/// time series of bucketed consumed phits. Driver-specific context that
-/// does not fit the shared columns goes into the free-form `label` and
-/// `extra` columns, so the column set itself never varies by driver.
+/// fixed column set: driver identity, the TaskSpec id the record came
+/// from, configuration (mechanism, pattern, offered load, seed), the
+/// scalar metrics of ResultRow, the mode specific scalars (dropped,
+/// drained, completion_time) and an optional time series of bucketed
+/// consumed phits. Driver-specific context that does not fit the shared
+/// columns goes into the free-form `label` and `extra` columns, so the
+/// column set itself never varies by driver.
 ///
 /// Both formats parse back (parse_csv / parse_json) into bit-identical
 /// records: doubles are printed with 17 significant digits, so a
 /// write -> parse round trip is lossless and the persisted artefacts
 /// inherit the sweep engine's determinism guarantee.
+///
+/// The task_id column is what the distributed layer keys on: a CSV file
+/// doubles as a checkpoint (completed task ids are exactly the ids on
+/// record), shard outputs merge by stable-sorting on task_id, and the
+/// lenient parse_csv_checkpoint() recovers the complete-record prefix of
+/// a file a crash may have truncated mid-row.
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
-#include "harness/sweep.hpp"
+#include "harness/taskspec.hpp"
 
 namespace hxsp {
 
@@ -31,6 +38,7 @@ namespace hxsp {
 /// to a record's kind keep their zero defaults.
 struct ResultRecord {
   std::string driver;        ///< emitting bench driver, e.g. "fig10_completion"
+  std::string task_id;       ///< TaskSpec id ("" for non-task records)
   std::string kind = "rate"; ///< rate | completion | dynamic | graph | info
   std::string label;         ///< driver context, e.g. a shape or root name
   std::string mechanism;     ///< display name, e.g. "PolSP" ("" when n/a)
@@ -67,6 +75,13 @@ inline bool operator!=(const ResultRecord& a, const ResultRecord& b) {
   return !(a == b);
 }
 
+/// Maps a (task, result) pair onto the shared schema: driver/task_id/
+/// label/extra come from the task (driver from its id prefix), kind/
+/// mechanism/pattern/offered/seed and the scalars from the task and its
+/// result. A pure function of its arguments — the reason an hxsp_runner
+/// shard and the in-process driver produce identical rows.
+ResultRecord make_record(const TaskSpec& task, const TaskResult& result);
+
 /// Collects ResultRecords for one driver and serializes them. The CSV
 /// and JSON carry exactly the same records; parse_csv/parse_json invert
 /// csv()/json() losslessly.
@@ -82,11 +97,8 @@ class ResultSink {
   /// this sink's driver name so one driver cannot impersonate another.
   void add(ResultRecord rec);
 
-  /// Appends a task/result pair, mapping it onto the shared schema:
-  /// kind/mechanism/pattern/offered/seed and the scalars come from the
-  /// task and its result, \p label and \p extra carry driver context.
-  void add(const SweepTask& task, const TaskResult& result,
-           std::string label = "", std::string extra = "");
+  /// Appends make_record(task, result) (driver name still this sink's).
+  void add(const TaskSpec& task, const TaskResult& result);
 
   /// Appends a bare rate row (for drivers with a ResultRow but no task).
   void add_row(const ResultRow& row, std::uint64_t seed,
@@ -97,10 +109,20 @@ class ResultSink {
   const std::string& driver() const { return driver_; }
 
   /// Renders all records as CSV (header + one line per record).
-  std::string csv() const;
+  std::string csv() const { return csv(records_); }
 
   /// Renders all records as a JSON array of flat objects.
-  std::string json() const;
+  std::string json() const { return json(records_); }
+
+  /// The same renderings for a caller-supplied record list (merge tools).
+  static std::string csv(const std::vector<ResultRecord>& records);
+  static std::string json(const std::vector<ResultRecord>& records);
+
+  /// The CSV header line and a single record's CSV line, each newline-
+  /// terminated — the pieces an append-mode checkpoint writes one task
+  /// at a time.
+  static std::string csv_header();
+  static std::string csv_line(const ResultRecord& rec);
 
   /// Writes csv()/json() to \p path. Returns false on I/O error.
   bool write_csv(const std::string& path) const;
@@ -110,9 +132,26 @@ class ResultSink {
   /// (HXSP_CHECK) on input that does not match the shared schema.
   static std::vector<ResultRecord> parse_csv(const std::string& text);
 
+  /// Lenient checkpoint parse: returns the records of the longest clean
+  /// prefix of \p text (header + complete well-formed rows) and, when
+  /// \p clean_prefix is non-null, the raw bytes of that prefix — what a
+  /// resuming runner truncates the file back to before appending. An
+  /// empty or headerless file yields no records and an empty prefix;
+  /// a row cut short by a crash is dropped, never half-parsed.
+  static std::vector<ResultRecord> parse_csv_checkpoint(
+      const std::string& text, std::string* clean_prefix);
+
   /// Inverse of json(). Handles the subset of JSON json() emits (flat
   /// objects of strings / numbers / booleans / integer arrays).
   static std::vector<ResultRecord> parse_json(const std::string& text);
+
+  /// Concatenates \p parts and stable-sorts by task_id: shard outputs
+  /// merge back into grid order (ids are fixed-width, so lexicographic
+  /// order is grid order), id-less records keep their relative position
+  /// ahead of task records. The merged CSV/JSON of complete shards is
+  /// byte-identical to the uninterrupted single-process run.
+  static std::vector<ResultRecord> merge(
+      const std::vector<std::vector<ResultRecord>>& parts);
 
  private:
   std::string driver_;

@@ -34,4 +34,18 @@ struct SimConfig {
   }
 };
 
+/// Field-wise equality (spec serialization round-trip checks).
+inline bool operator==(const SimConfig& a, const SimConfig& b) {
+  return a.packet_length == b.packet_length &&
+         a.input_buffer_packets == b.input_buffer_packets &&
+         a.output_buffer_packets == b.output_buffer_packets &&
+         a.link_latency == b.link_latency && a.xbar_latency == b.xbar_latency &&
+         a.xbar_speedup == b.xbar_speedup && a.num_vcs == b.num_vcs &&
+         a.server_queue_packets == b.server_queue_packets &&
+         a.watchdog_cycles == b.watchdog_cycles;
+}
+inline bool operator!=(const SimConfig& a, const SimConfig& b) {
+  return !(a == b);
+}
+
 } // namespace hxsp

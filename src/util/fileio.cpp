@@ -1,0 +1,35 @@
+#include "util/fileio.hpp"
+
+#include <cstdio>
+
+#include "util/check.hpp"
+
+namespace hxsp {
+
+bool try_read_file(const std::string& path, std::string* out) {
+  out->clear();
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) return false;
+  char buf[1 << 16];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out->append(buf, n);
+  std::fclose(f);
+  return true;
+}
+
+std::string read_file_or_die(const std::string& path) {
+  std::string content;
+  HXSP_CHECK_MSG(try_read_file(path, &content),
+                 ("cannot read file: " + path).c_str());
+  return content;
+}
+
+bool write_whole_file(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) return false;
+  const std::size_t n = std::fwrite(content.data(), 1, content.size(), f);
+  const int rc = std::fclose(f);
+  return n == content.size() && rc == 0;
+}
+
+} // namespace hxsp

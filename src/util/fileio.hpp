@@ -1,0 +1,23 @@
+#pragma once
+/// \file fileio.hpp
+/// Whole-file read/write helpers shared by the persistence and
+/// distributed-run layers (ResultSink, the runner, hxsp_runner's merge),
+/// so error handling — short writes, fclose failures — lives in one
+/// place.
+
+#include <string>
+
+namespace hxsp {
+
+/// Reads \p path into \p out. Returns false when the file cannot be
+/// opened (out is left cleared).
+bool try_read_file(const std::string& path, std::string* out);
+
+/// Reads a whole file; aborts (HXSP_CHECK) when it cannot be read.
+std::string read_file_or_die(const std::string& path);
+
+/// Writes \p content to \p path (truncating). Returns false on open
+/// failure, short write, or fclose error.
+bool write_whole_file(const std::string& path, const std::string& content);
+
+} // namespace hxsp

@@ -14,6 +14,7 @@ namespace {
 ResultRecord sample_rate_record() {
   ResultRecord r;
   r.kind = "rate";
+  r.task_id = "test_driver/000003";
   r.label = "fault-free";
   r.mechanism = "PolSP";
   r.pattern = "uniform";
@@ -82,12 +83,12 @@ ResultSink sink_with_all_kinds() {
 
 TEST(ResultSink, ColumnSetIsStable) {
   const std::vector<std::string> expected = {
-      "driver",      "kind",        "label",       "mechanism",
-      "pattern",     "offered",     "seed",        "generated",
-      "accepted",    "avg_latency", "jain",        "escape_frac",
-      "forced_frac", "p99_latency", "cycles",      "packets",
-      "num_servers", "dropped",     "drained",     "completion_time",
-      "series_width", "series",     "extra"};
+      "driver",      "task_id",     "kind",        "label",
+      "mechanism",   "pattern",     "offered",     "seed",
+      "generated",   "accepted",    "avg_latency", "jain",
+      "escape_frac", "forced_frac", "p99_latency", "cycles",
+      "packets",     "num_servers", "dropped",     "drained",
+      "completion_time", "series_width", "series", "extra"};
   EXPECT_EQ(ResultSink::columns(), expected);
 }
 
@@ -181,10 +182,14 @@ TEST(ResultSink, SharedSchemaAcrossKindsAndDrivers) {
 // No simulation needed — results are constructed by hand.
 // ---------------------------------------------------------------------------
 
-SweepTask task_with_seed(TaskKind kind, std::uint64_t seed) {
-  SweepTask t;
+TaskSpec task_with_seed(TaskKind kind, std::uint64_t seed,
+                        std::string label = "", std::string extra = "") {
+  TaskSpec t;
   t.kind = kind;
   t.spec.seed = seed;
+  t.id = make_task_id("d", 0);
+  t.label = std::move(label);
+  t.extra = std::move(extra);
   return t;
 }
 
@@ -204,9 +209,10 @@ TEST(ResultSink, TypedAddMapsRateFields) {
   row.packets = 4321;
 
   ResultSink sink("d");
-  sink.add(task_with_seed(TaskKind::kRate, 42), TaskResult(row), "lbl", "k=v");
+  sink.add(task_with_seed(TaskKind::kRate, 42, "lbl", "k=v"), TaskResult(row));
   const ResultRecord& rec = sink.records()[0];
   EXPECT_EQ(rec.kind, "rate");
+  EXPECT_EQ(rec.task_id, "d/000000");
   EXPECT_EQ(rec.label, "lbl");
   EXPECT_EQ(rec.extra, "k=v");
   EXPECT_EQ(rec.seed, 42u);
@@ -284,6 +290,83 @@ TEST(ResultSink, AddRowIsRateKind) {
   EXPECT_EQ(rec.seed, 13u);
   EXPECT_EQ(rec.mechanism, "Minimal");
   EXPECT_EQ(rec.accepted, 0.3);
+}
+
+// ---------------------------------------------------------------------------
+// The distributed-layer primitives: per-line serialization, the lenient
+// checkpoint parser, and the shard merge.
+// ---------------------------------------------------------------------------
+
+TEST(ResultSink, CsvHeaderAndLinesComposeToCsv) {
+  const ResultSink sink = sink_with_all_kinds();
+  std::string assembled = ResultSink::csv_header();
+  for (const ResultRecord& rec : sink.records())
+    assembled += ResultSink::csv_line(rec);
+  EXPECT_EQ(assembled, sink.csv());
+}
+
+TEST(ResultSink, CheckpointParseRecoversCleanPrefix) {
+  const ResultSink sink = sink_with_all_kinds();
+  const std::string full = sink.csv();
+
+  // Intact file: everything parses, prefix is the whole file.
+  std::string clean;
+  auto records = ResultSink::parse_csv_checkpoint(full, &clean);
+  EXPECT_EQ(records.size(), sink.size());
+  EXPECT_EQ(clean, full);
+
+  // Truncate mid-row (drop the last 7 bytes): the partial row is dropped
+  // and the prefix ends exactly at the last complete record.
+  const std::string truncated = full.substr(0, full.size() - 7);
+  records = ResultSink::parse_csv_checkpoint(truncated, &clean);
+  ASSERT_EQ(records.size(), sink.size() - 1);
+  for (std::size_t i = 0; i < records.size(); ++i)
+    EXPECT_EQ(records[i], sink.records()[i]);
+  EXPECT_EQ(clean + ResultSink::csv_line(sink.records().back()), full);
+
+  // Headerless garbage: no records, empty prefix.
+  records = ResultSink::parse_csv_checkpoint("not,a,checkpoint\n", &clean);
+  EXPECT_TRUE(records.empty());
+  EXPECT_TRUE(clean.empty());
+
+  // Empty file: same.
+  records = ResultSink::parse_csv_checkpoint("", &clean);
+  EXPECT_TRUE(records.empty());
+  EXPECT_TRUE(clean.empty());
+}
+
+TEST(ResultSink, MergeRestoresGridOrder) {
+  // Shard 0 holds even grid indices, shard 1 odd ones; the merge must
+  // interleave them back into id order, exactly one record per task.
+  std::vector<ResultRecord> shard0, shard1, reference;
+  for (std::size_t i = 0; i < 7; ++i) {
+    ResultRecord r;
+    r.driver = "d";
+    r.task_id = make_task_id("d", i);
+    r.seed = i;
+    reference.push_back(r);
+    (i % 2 == 0 ? shard0 : shard1).push_back(r);
+  }
+  const auto merged = ResultSink::merge({shard1, shard0});
+  ASSERT_EQ(merged.size(), reference.size());
+  for (std::size_t i = 0; i < merged.size(); ++i)
+    EXPECT_EQ(merged[i], reference[i]);
+  EXPECT_EQ(ResultSink::csv(merged), ResultSink::csv(reference));
+  EXPECT_EQ(ResultSink::json(merged), ResultSink::json(reference));
+}
+
+TEST(ResultSink, MergeKeepsIdlessRecordsStable) {
+  // Records without task ids (graph/info) keep their relative order and
+  // sort ahead of id-carrying rows.
+  ResultRecord a, b, c;
+  a.label = "first";
+  b.label = "second";
+  c.task_id = make_task_id("d", 0);
+  const auto merged = ResultSink::merge({{a, b}, {c}});
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_EQ(merged[0].label, "first");
+  EXPECT_EQ(merged[1].label, "second");
+  EXPECT_EQ(merged[2].task_id, "d/000000");
 }
 
 TEST(ResultSink, WriteReadFiles) {

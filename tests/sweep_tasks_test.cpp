@@ -89,20 +89,20 @@ std::vector<FaultEvent> small_events(const ExperimentSpec& spec, int n) {
 // Task model basics.
 // ---------------------------------------------------------------------------
 
-TEST(SweepTask, FactoriesSetKindAndParameters) {
+TEST(TaskSpec, FactoriesSetKindAndParameters) {
   const ExperimentSpec spec = small_spec();
 
-  const SweepTask r = SweepTask::rate(spec, 0.7);
+  const TaskSpec r = TaskSpec::rate(spec, 0.7);
   EXPECT_EQ(r.kind, TaskKind::kRate);
   EXPECT_EQ(r.offered, 0.7);
 
-  const SweepTask c = SweepTask::completion(spec, 40, 250, 100000);
+  const TaskSpec c = TaskSpec::completion(spec, 40, 250, 100000);
   EXPECT_EQ(c.kind, TaskKind::kCompletion);
   EXPECT_EQ(c.packets_per_server, 40);
   EXPECT_EQ(c.bucket_width, 250);
   EXPECT_EQ(c.max_cycles, 100000);
 
-  const SweepTask d = SweepTask::dynamic_faults(spec, 0.6, {{500, 3}});
+  const TaskSpec d = TaskSpec::dynamic_faults(spec, 0.6, {{500, 3}});
   EXPECT_EQ(d.kind, TaskKind::kDynamic);
   EXPECT_EQ(d.offered, 0.6);
   ASSERT_EQ(d.events.size(), 1u);
@@ -113,29 +113,29 @@ TEST(SweepTask, FactoriesSetKindAndParameters) {
   EXPECT_STREQ(task_kind_name(TaskKind::kDynamic), "dynamic");
 }
 
-TEST(SweepTask, ResultAccessorsMatchKind) {
+TEST(TaskSpec, ResultAccessorsMatchKind) {
   const ExperimentSpec spec = small_spec();
-  const TaskResult rate = run_sweep_task(SweepTask::rate(spec, 0.5));
+  const TaskResult rate = run_task(TaskSpec::rate(spec, 0.5));
   EXPECT_EQ(task_result_kind(rate), TaskKind::kRate);
   ASSERT_NE(task_result_row(rate), nullptr);
   EXPECT_EQ(task_result_row(rate)->offered, 0.5);
 
   const TaskResult comp =
-      run_sweep_task(SweepTask::completion(spec, 10, 250, 100000));
+      run_task(TaskSpec::completion(spec, 10, 250, 100000));
   EXPECT_EQ(task_result_kind(comp), TaskKind::kCompletion);
   EXPECT_EQ(task_result_row(comp), nullptr);
   EXPECT_EQ(std::get<CompletionResult>(comp).mechanism, "PolSP");
   EXPECT_EQ(std::get<CompletionResult>(comp).pattern, "uniform");
 
-  const TaskResult dyn = run_sweep_task(
-      SweepTask::dynamic_faults(spec, 0.5, small_events(spec, 2)));
+  const TaskResult dyn = run_task(
+      TaskSpec::dynamic_faults(spec, 0.5, small_events(spec, 2)));
   EXPECT_EQ(task_result_kind(dyn), TaskKind::kDynamic);
   ASSERT_NE(task_result_row(dyn), nullptr);
   EXPECT_EQ(task_result_row(dyn)->mechanism, "PolSP");
 }
 
-TEST(SweepTask, ExpandTaskSeedsKeepsKindAndParameters) {
-  const SweepTask proto = SweepTask::completion(small_spec(), 16, 500, 50000);
+TEST(TaskSpec, ExpandTaskSeedsKeepsKindAndParameters) {
+  const TaskSpec proto = TaskSpec::completion(small_spec(), 16, 500, 50000);
   const auto tasks = ParallelSweep::expand_task_seeds(proto, 90, 3);
   ASSERT_EQ(tasks.size(), 3u);
   for (int t = 0; t < 3; ++t) {
@@ -150,17 +150,17 @@ TEST(SweepTask, ExpandTaskSeedsKeepsKindAndParameters) {
 // Bit-identity: serial loop vs 1/2/8 workers, per task kind.
 // ---------------------------------------------------------------------------
 
-TEST(SweepTasks, CompletionMatchesSerialBitIdentically) {
-  std::vector<SweepTask> tasks;
+TEST(TaskSpecs, CompletionMatchesSerialBitIdentically) {
+  std::vector<TaskSpec> tasks;
   for (const char* mech : {"omnisp", "polsp"})
     for (long packets : {8L, 16L})
       tasks.push_back(
-          SweepTask::completion(small_spec(mech), packets, 250, 200000));
+          TaskSpec::completion(small_spec(mech), packets, 250, 200000));
 
   // The serial reference: one fresh Experiment per task, like a pre-engine
   // driver loop.
   std::vector<CompletionResult> serial;
-  for (const SweepTask& task : tasks) {
+  for (const TaskSpec& task : tasks) {
     Experiment e(task.spec);
     serial.push_back(e.run_completion(task.packets_per_server,
                                       task.bucket_width, task.max_cycles));
@@ -178,18 +178,18 @@ TEST(SweepTasks, CompletionMatchesSerialBitIdentically) {
   }
 }
 
-TEST(SweepTasks, DynamicMatchesSerialBitIdentically) {
-  std::vector<SweepTask> tasks;
+TEST(TaskSpecs, DynamicMatchesSerialBitIdentically) {
+  std::vector<TaskSpec> tasks;
   for (const char* mech : {"omnisp", "polsp"}) {
     const ExperimentSpec spec = small_spec(mech);
     tasks.push_back(
-        SweepTask::dynamic_faults(spec, 0.6, small_events(spec, 2)));
+        TaskSpec::dynamic_faults(spec, 0.6, small_events(spec, 2)));
     tasks.push_back(
-        SweepTask::dynamic_faults(spec, 0.9, small_events(spec, 3)));
+        TaskSpec::dynamic_faults(spec, 0.9, small_events(spec, 3)));
   }
 
   std::vector<DynamicResult> serial;
-  for (const SweepTask& task : tasks) {
+  for (const TaskSpec& task : tasks) {
     Experiment e(task.spec);
     serial.push_back(e.run_load_dynamic(task.offered, task.events));
   }
@@ -205,11 +205,11 @@ TEST(SweepTasks, DynamicMatchesSerialBitIdentically) {
   }
 }
 
-TEST(SweepTasks, RateTasksMatchRunExactly) {
+TEST(TaskSpecs, RateTasksMatchRunExactly) {
   const ExperimentSpec spec = small_spec();
   const std::vector<double> loads = {0.3, 0.7, 1.0};
-  std::vector<SweepTask> tasks;
-  for (double l : loads) tasks.push_back(SweepTask::rate(spec, l));
+  std::vector<TaskSpec> tasks;
+  for (double l : loads) tasks.push_back(TaskSpec::rate(spec, l));
 
   ParallelSweep sweep(2);
   const auto rows = sweep.run(ParallelSweep::expand_loads(spec, loads));
@@ -224,18 +224,18 @@ TEST(SweepTasks, RateTasksMatchRunExactly) {
 // Ordering and repeatability for mixed-kind grids.
 // ---------------------------------------------------------------------------
 
-std::vector<SweepTask> mixed_tasks() {
+std::vector<TaskSpec> mixed_tasks() {
   const ExperimentSpec spec = small_spec();
-  std::vector<SweepTask> tasks;
-  tasks.push_back(SweepTask::completion(spec, 12, 250, 200000));
-  tasks.push_back(SweepTask::rate(spec, 0.8));
-  tasks.push_back(SweepTask::dynamic_faults(spec, 0.6, small_events(spec, 2)));
-  tasks.push_back(SweepTask::rate(spec, 0.2));
-  tasks.push_back(SweepTask::completion(spec, 4, 250, 200000));
+  std::vector<TaskSpec> tasks;
+  tasks.push_back(TaskSpec::completion(spec, 12, 250, 200000));
+  tasks.push_back(TaskSpec::rate(spec, 0.8));
+  tasks.push_back(TaskSpec::dynamic_faults(spec, 0.6, small_events(spec, 2)));
+  tasks.push_back(TaskSpec::rate(spec, 0.2));
+  tasks.push_back(TaskSpec::completion(spec, 4, 250, 200000));
   return tasks;
 }
 
-TEST(SweepTasks, MixedKindsDeliveredInSubmissionOrder) {
+TEST(TaskSpecs, MixedKindsDeliveredInSubmissionOrder) {
   const auto tasks = mixed_tasks();
   ParallelSweep sweep(4);
   std::vector<std::size_t> order;
@@ -252,7 +252,7 @@ TEST(SweepTasks, MixedKindsDeliveredInSubmissionOrder) {
     EXPECT_EQ(task_result_kind(results[i]), tasks[i].kind);
 }
 
-TEST(SweepTasks, MixedRepeatedRunsAreIdentical) {
+TEST(TaskSpecs, MixedRepeatedRunsAreIdentical) {
   const auto tasks = mixed_tasks();
   ParallelSweep sweep(2);
   const auto first = sweep.run_tasks(tasks);
@@ -282,7 +282,7 @@ TEST(SweepTasks, MixedRepeatedRunsAreIdentical) {
 // only after the pool has drained, and leaves the sweep reusable.
 // ---------------------------------------------------------------------------
 
-void check_exception_drain(std::vector<SweepTask> tasks) {
+void check_exception_drain(std::vector<TaskSpec> tasks) {
   ParallelSweep sweep(4);
   std::size_t delivered = 0;
   EXPECT_THROW(sweep.run_tasks(tasks,
@@ -298,20 +298,20 @@ void check_exception_drain(std::vector<SweepTask> tasks) {
     EXPECT_EQ(task_result_kind(results[i]), tasks[i].kind);
 }
 
-TEST(SweepTasks, CompletionExceptionDrainsAndPropagates) {
+TEST(TaskSpecs, CompletionExceptionDrainsAndPropagates) {
   const ExperimentSpec spec = small_spec();
-  std::vector<SweepTask> tasks;
+  std::vector<TaskSpec> tasks;
   for (long packets : {4L, 8L, 12L, 16L})
-    tasks.push_back(SweepTask::completion(spec, packets, 250, 200000));
+    tasks.push_back(TaskSpec::completion(spec, packets, 250, 200000));
   check_exception_drain(std::move(tasks));
 }
 
-TEST(SweepTasks, DynamicExceptionDrainsAndPropagates) {
+TEST(TaskSpecs, DynamicExceptionDrainsAndPropagates) {
   const ExperimentSpec spec = small_spec();
-  std::vector<SweepTask> tasks;
+  std::vector<TaskSpec> tasks;
   for (double load : {0.3, 0.5, 0.7, 0.9})
     tasks.push_back(
-        SweepTask::dynamic_faults(spec, load, small_events(spec, 2)));
+        TaskSpec::dynamic_faults(spec, load, small_events(spec, 2)));
   check_exception_drain(std::move(tasks));
 }
 
@@ -355,7 +355,7 @@ TEST(SweepMap, WorkerExceptionDrainsAndPropagates) {
 // early so most of the window is steady state.
 // ---------------------------------------------------------------------------
 
-TEST(SweepTasks, DynamicConvergesToStaticReference) {
+TEST(TaskSpecs, DynamicConvergesToStaticReference) {
   ExperimentSpec spec;
   spec.sides = {4, 4};
   spec.servers_per_switch = 4;
@@ -383,8 +383,8 @@ TEST(SweepTasks, DynamicConvergesToStaticReference) {
 
   ParallelSweep sweep(2);
   const auto results = sweep.run_tasks(
-      {SweepTask::dynamic_faults(spec, 0.5, events),
-       SweepTask::rate(static_spec, 0.5)});
+      {TaskSpec::dynamic_faults(spec, 0.5, events),
+       TaskSpec::rate(static_spec, 0.5)});
   const DynamicResult& dyn = std::get<DynamicResult>(results[0]);
   const ResultRow& ref = std::get<ResultRow>(results[1]);
 
