@@ -61,6 +61,17 @@ EscapeUpDown::EscapeUpDown(const Graph& g, const Config& cfg)
     }
   }
 
+  // Fused neighbour view for the candidates() hot loop.
+  nbrs_.resize(n_);
+  for (SwitchId s = 0; s < g.num_switches(); ++s) {
+    auto& row = nbrs_[static_cast<std::size_t>(s)];
+    row.clear();
+    for (const AlivePort& ap : g.alive_ports(s))
+      row.push_back(
+          {ap.port, ap.neighbor, level_[static_cast<std::size_t>(ap.neighbor)],
+           static_cast<std::uint8_t>(black_[static_cast<std::size_t>(ap.link)])});
+  }
+
   // Up/Down distances: meet-in-the-middle over the up-digraph. The meet
   // point z is an up-ancestor of both endpoints; the down half is the
   // reverse of the target's up-subpath. O(n^3) with a tiny inner loop;
@@ -85,23 +96,24 @@ EscapeUpDown::EscapeUpDown(const Graph& g, const Config& cfg)
 void EscapeUpDown::candidates(SwitchId current, SwitchId target, bool gone_down,
                               std::vector<EscapeCand>& out) const {
   const auto uc = static_cast<std::size_t>(current);
-  const std::uint8_t ud_c = ud_[uc * n_ + static_cast<std::size_t>(target)];
+  // ud_ is symmetric and u_'s target row is contiguous, so both per-
+  // neighbour probes below walk the same two rows of bytes.
+  const std::uint8_t* ud_row = &ud_[static_cast<std::size_t>(target) * n_];
+  const std::uint8_t* ut_row = &u_[static_cast<std::size_t>(target) * n_];
+  const std::uint8_t ud_c = ud_row[uc];
   // Down-phase potential: distance from target to current in the up
   // digraph; finite iff an all-Down path current -> target exists.
-  const std::uint8_t ut_c =
-      u_[static_cast<std::size_t>(target) * n_ + uc];
+  const std::uint8_t ut_c = ut_row[uc];
   const int lvl_c = level_[uc];
-  const auto& ports = g_->ports(current);
   const EscapePenalties& pen = cfg_.penalties;
 
-  for (Port p = 0; p < static_cast<Port>(ports.size()); ++p) {
-    const auto& pi = ports[static_cast<std::size_t>(p)];
-    if (!g_->link_alive(pi.link)) continue;
-    const auto un = static_cast<std::size_t>(pi.neighbor);
-    const int lvl_n = level_[un];
-    const bool black = black_[static_cast<std::size_t>(pi.link)] != 0;
-    const std::uint8_t ud_n = ud_[un * n_ + static_cast<std::size_t>(target)];
-    const std::uint8_t ut_n = u_[static_cast<std::size_t>(target) * n_ + un];
+  for (const NeighborInfo& nb : nbrs_[static_cast<std::size_t>(current)]) {
+    const Port p = nb.port;
+    const auto un = static_cast<std::size_t>(nb.neighbor);
+    const int lvl_n = nb.level;
+    const bool black = nb.black != 0;
+    const std::uint8_t ud_n = ud_row[un];
+    const std::uint8_t ut_n = ut_row[un];
 
     if (!cfg_.strict_phase) {
       // Paper rule: any link whose table entry shows a positive reduction
@@ -130,7 +142,7 @@ void EscapeUpDown::candidates(SwitchId current, SwitchId target, bool gone_down,
       } else if (black && lvl_n > lvl_c && ut_n != kUnreachable &&
                  ut_c != kUnreachable && ut_n == ut_c - 1) {
         out.push_back({p, pen.down, true});
-      } else if (!black && cfg_.use_shortcuts && pi.neighbor < current &&
+      } else if (!black && cfg_.use_shortcuts && nb.neighbor < current &&
                  ud_n < ud_c) {
         const int delta = ud_c - ud_n;
         const int pnl = delta >= 3 ? pen.red3 : (delta == 2 ? pen.red2 : pen.red1);
@@ -140,7 +152,7 @@ void EscapeUpDown::candidates(SwitchId current, SwitchId target, bool gone_down,
       if (black && lvl_n > lvl_c && ut_n != kUnreachable &&
           ut_c != kUnreachable && ut_n == ut_c - 1) {
         out.push_back({p, pen.down, true});
-      } else if (!black && cfg_.use_shortcuts && pi.neighbor > current &&
+      } else if (!black && cfg_.use_shortcuts && nb.neighbor > current &&
                  ut_n != kUnreachable && ut_c != kUnreachable && ut_n < ut_c) {
         const int delta = ut_c - ut_n;
         const int pnl = delta >= 3 ? pen.red3 : (delta == 2 ? pen.red2 : pen.red1);

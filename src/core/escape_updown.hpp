@@ -97,6 +97,17 @@ class EscapeUpDown {
   void candidates(SwitchId current, SwitchId target, bool gone_down,
                   std::vector<EscapeCand>& out) const;
 
+  /// Hints the CPU to start fetching the table rows candidates() will
+  /// read for \p target, so a caller can overlap them with other work.
+  void prefetch_rows(SwitchId target) const {
+#if defined(__GNUC__) || defined(__clang__)
+    __builtin_prefetch(&ud_[static_cast<std::size_t>(target) * n_]);
+    __builtin_prefetch(&u_[static_cast<std::size_t>(target) * n_]);
+#else
+    (void)target;
+#endif
+  }
+
   /// The configured root.
   SwitchId root() const { return cfg_.root; }
 
@@ -108,6 +119,16 @@ class EscapeUpDown {
   int num_red_links() const { return num_red_; }
 
  private:
+  /// One alive neighbour of a switch with the colouring facts
+  /// candidates() needs, fused into one sequentially-scanned record so
+  /// the hot loop touches one short array instead of four.
+  struct NeighborInfo {
+    Port port;
+    SwitchId neighbor;
+    std::int32_t level;  ///< level_[neighbor]
+    std::uint8_t black;  ///< black_[link]
+  };
+
   const Graph* g_; ///< pointer (not reference) so tables can be rebuilt
                    ///< in place when the fault set changes at runtime
   Config cfg_;
@@ -116,6 +137,7 @@ class EscapeUpDown {
   std::vector<char> black_;
   std::vector<std::uint8_t> u_;  ///< up-digraph distances, n x n
   std::vector<std::uint8_t> ud_; ///< up/down distances, n x n
+  std::vector<std::vector<NeighborInfo>> nbrs_; ///< per switch, alive only
   int num_black_ = 0;
   int num_red_ = 0;
 };

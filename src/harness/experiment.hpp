@@ -150,6 +150,7 @@ class Experiment {
   const EscapeUpDown* escape() const { return escape_.get(); }
   const NetworkContext& context() const { return ctx_; }
   RoutingMechanism& mechanism() { return *mech_; }
+  TrafficPattern& traffic() { return *traffic_; }
   const ExperimentSpec& spec() const { return spec_; }
 
  private:

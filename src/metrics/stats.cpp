@@ -86,15 +86,6 @@ void SimMetrics::on_consumed(ServerId /*dst*/, Cycle created, Cycle now) {
   }
 }
 
-void SimMetrics::on_hop(HopKind kind) {
-  if (!in_window()) return;
-  switch (kind) {
-    case HopKind::Routing: ++hops_routing_; break;
-    case HopKind::Escape: ++hops_escape_; break;
-    case HopKind::Forced: ++hops_forced_; break;
-  }
-}
-
 Cycle SimMetrics::window_cycles() const {
   return window_end_ < 0 ? 0 : window_end_ - window_start_;
 }

@@ -71,8 +71,16 @@ class SimMetrics {
   /// \p created is its generation timestamp.
   void on_consumed(ServerId dst, Cycle created, Cycle now);
 
-  /// A switch-to-switch hop of the given kind was granted.
-  void on_hop(HopKind kind);
+  /// A switch-to-switch hop of the given kind was granted. Inline: this
+  /// fires once per grant, deep in the engine's per-cycle hot path.
+  void on_hop(HopKind kind) {
+    if (!in_window()) return;
+    switch (kind) {
+      case HopKind::Routing: ++hops_routing_; break;
+      case HopKind::Escape: ++hops_escape_; break;
+      case HopKind::Forced: ++hops_forced_; break;
+    }
+  }
 
   // --- results (valid after end_window) ----------------------------------
 

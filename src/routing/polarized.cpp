@@ -6,18 +6,20 @@ void PolarizedAlgorithm::ports(const NetworkContext& ctx, const Packet& p,
                                SwitchId sw, std::vector<PortCand>& out) const {
   const Graph& g = *ctx.graph;
   const DistanceTable& dist = *ctx.dist;
-  const std::uint8_t dcs = dist.at(sw, p.src_switch);
-  const std::uint8_t dct = dist.at(sw, p.dst_switch);
+  // Distances are symmetric, so d(neighbor, src/dst) reads from the
+  // src/dst rows — contiguous bytes shared by every neighbour probe.
+  const std::uint8_t* from_src = dist.row(p.src_switch);
+  const std::uint8_t* from_dst = dist.row(p.dst_switch);
+  const std::uint8_t dcs = from_src[static_cast<std::size_t>(sw)];
+  const std::uint8_t dct = from_dst[static_cast<std::size_t>(sw)];
   if (dct == kUnreachable || dct == 0) return;
   // The paper's header boolean d(c,s) < d(c,t): still in the first half.
   const bool first_half = dcs < dct;
 
-  const auto& ports = g.ports(sw);
-  for (Port q = 0; q < static_cast<Port>(ports.size()); ++q) {
-    const auto& pi = ports[static_cast<std::size_t>(q)];
-    if (!g.link_alive(pi.link)) continue;
-    const int ds = static_cast<int>(dist.at(pi.neighbor, p.src_switch)) - dcs;
-    const int dt = static_cast<int>(dist.at(pi.neighbor, p.dst_switch)) - dct;
+  for (const AlivePort& ap : g.alive_ports(sw)) {
+    const auto un = static_cast<std::size_t>(ap.neighbor);
+    const int ds = static_cast<int>(from_src[un]) - dcs;
+    const int dt = static_cast<int>(from_dst[un]) - dct;
     const int dmu = ds - dt;
     if (dmu < 0) continue;
     if (dmu == 0) {
@@ -29,11 +31,11 @@ void PolarizedAlgorithm::ports(const NetworkContext& ctx, const Packet& p,
       } else {
         continue;
       }
-      out.push_back({q, pen_.dmu0, true});
+      out.push_back({ap.port, pen_.dmu0, true});
     } else if (dmu == 1) {
-      out.push_back({q, pen_.dmu1, dt >= 0});
+      out.push_back({ap.port, pen_.dmu1, dt >= 0});
     } else { // dmu == 2: approaches target, departs source
-      out.push_back({q, pen_.dmu2, false});
+      out.push_back({ap.port, pen_.dmu2, false});
     }
   }
 }

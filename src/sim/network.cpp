@@ -1,5 +1,6 @@
 #include "sim/network.hpp"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 
@@ -35,15 +36,12 @@ Network::Network(const NetworkContext& ctx, RoutingMechanism& mech,
 
 void Network::set_offered_load(double load) {
   for (auto& s : servers_) s.set_offered_load(load, cfg_.packet_length);
+  completion_outstanding_ = 0;
 }
 
 void Network::set_completion_load(long packets) {
   for (auto& s : servers_) s.set_completion(packets);
-}
-
-void Network::schedule(Cycle when, const Event& ev) {
-  HXSP_DCHECK(when > now_ && when < now_ + kWheelSize);
-  wheel_[static_cast<std::size_t>(when & (kWheelSize - 1))].push_back(ev);
+  completion_outstanding_ = packets * static_cast<long>(servers_.size());
 }
 
 void Network::process_events() {
@@ -115,12 +113,26 @@ void Network::consume_at(PacketPtr pkt, Cycle when, Vc vc) {
 
 void Network::step() {
   process_events();
+  // Generation must visit every server in id order: each loaded server
+  // draws from the shared RNG stream every cycle, and that draw order is
+  // part of the determinism contract. Injection draws nothing, so idle
+  // servers skip it via the inline readiness check.
   for (auto& s : servers_) {
-    s.generation_phase(*this, now_);
-    s.injection_phase(*this, now_);
+    s.generation_phase(*this, now_, rng_);
+    if (s.injection_ready(now_)) s.injection_phase(*this, now_);
   }
-  for (auto& r : routers_) r.alloc_phase(*this, now_);
-  for (auto& r : routers_) r.link_phase(*this, now_);
+  // Routers without buffered input (resp. waiting output) packets would
+  // run their alloc (resp. link) phase as a pure no-op — no RNG draws, no
+  // events — so stepping only the active ids, in the same ascending id
+  // order as the full scan, is cycle-exact. The link snapshot is taken
+  // after alloc so a zero-latency crossbar grant can still transmit in
+  // the same cycle (as it would under the full scan).
+  phase_scratch_.assign(alloc_active_.begin(), alloc_active_.end());
+  for (SwitchId s : phase_scratch_)
+    routers_[static_cast<std::size_t>(s)].alloc_phase(*this, now_);
+  phase_scratch_.assign(link_active_.begin(), link_active_.end());
+  for (SwitchId s : phase_scratch_)
+    routers_[static_cast<std::size_t>(s)].link_phase(*this, now_);
 
   if (cfg_.watchdog_cycles > 0 && packets_in_system_ > 0 &&
       now_ - last_progress_ > cfg_.watchdog_cycles) {
@@ -153,9 +165,9 @@ void Network::on_link_failed(LinkId failed) {
   // end-to-end recovery is above this layer).
   int lost = 0;
   lost += routers_[static_cast<std::size_t>(ends.a)].drop_output_queue(
-      ends.port_a, cfg_);
+      *this, ends.port_a);
   lost += routers_[static_cast<std::size_t>(ends.b)].drop_output_queue(
-      ends.port_b, cfg_);
+      *this, ends.port_b);
   dropped_packets_ += lost;
   packets_in_system_ -= lost;
   for (auto& r : routers_) r.on_tables_rebuilt();
@@ -163,19 +175,17 @@ void Network::on_link_failed(LinkId failed) {
 }
 
 bool Network::run_until_drained(Cycle max_cycles) {
+  // packets_in_system_ counts every generated-but-unconsumed packet
+  // (server queues included), and completion_outstanding_ the budgeted
+  // packets not yet generated — together they are the total outstanding
+  // work, so the drained check is O(1) instead of a per-cycle scan of
+  // every server.
   const Cycle end = now_ + max_cycles;
   while (now_ < end) {
-    bool pending = packets_in_system_ > 0;
-    if (!pending)
-      for (const auto& s : servers_)
-        if (s.remaining() > 0 || s.queued() > 0) {
-          pending = true;
-          break;
-        }
-    if (!pending) return true;
+    if (packets_in_system_ == 0 && completion_outstanding_ == 0) return true;
     step();
   }
-  return packets_in_system_ == 0;
+  return packets_in_system_ == 0 && completion_outstanding_ == 0;
 }
 
 } // namespace hxsp

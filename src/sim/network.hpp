@@ -4,12 +4,19 @@
 /// and the cycle loop.
 ///
 /// One step() = process due events, run server generation/injection, run
-/// every router's allocation phase, then every router's link phase. All
+/// the allocation phase of every router with buffered input packets, then
+/// the link phase of every router with waiting output packets. The two
+/// router phases walk sorted active-id lists maintained at the few points
+/// where a router gains or loses work, so idle routers cost nothing per
+/// cycle — and because skipped routers would have drawn no randomness and
+/// scheduled no events, the cycle-by-cycle behaviour (RNG stream, event
+/// order, every output byte) is identical to stepping everything. All
 /// event delays are small constants (crossbar/link/credit latencies), so a
 /// 64-slot calendar wheel suffices. A watchdog aborts the run if packets
 /// are in flight but nothing has moved for SimConfig::watchdog_cycles —
 /// the tripwire behind our deadlock-freedom claims.
 
+#include <algorithm>
 #include <deque>
 #include <memory>
 #include <vector>
@@ -25,6 +32,25 @@
 #include "util/rng.hpp"
 
 namespace hxsp {
+
+/// Inserts \p x into sorted \p v (no duplicates expected). Shared by the
+/// engine's active-set lists: network-level router ids and router-level
+/// waiting ports both need ascending-order iteration to mirror a full
+/// scan exactly.
+template <typename T>
+inline void sorted_id_insert(std::vector<T>& v, T x) {
+  const auto it = std::lower_bound(v.begin(), v.end(), x);
+  HXSP_DCHECK(it == v.end() || *it != x);
+  v.insert(it, x);
+}
+
+/// Erases \p x from sorted \p v (must be present).
+template <typename T>
+inline void sorted_id_erase(std::vector<T>& v, T x) {
+  const auto it = std::lower_bound(v.begin(), v.end(), x);
+  HXSP_DCHECK(it != v.end() && *it == x);
+  v.erase(it);
+}
 
 /// A deferred simulator action (buffer release, credit return, delivery).
 struct Event {
@@ -105,7 +131,11 @@ class Network {
   Server& server(ServerId v) { return servers_[static_cast<std::size_t>(v)]; }
 
   /// Schedules \p ev for cycle \p when (must be < 64 cycles ahead).
-  void schedule(Cycle when, const Event& ev);
+  /// Inline: several events fire per packet transfer.
+  void schedule(Cycle when, const Event& ev) {
+    HXSP_DCHECK(when > now_ && when < now_ + kWheelSize);
+    wheel_[static_cast<std::size_t>(when & (kWheelSize - 1))].push_back(ev);
+  }
 
   /// Hands a packet to a router input buffer (runs the arrival hook).
   void deliver(PacketPtr pkt, SwitchId sw, Port port, Vc vc, Cycle head,
@@ -120,9 +150,30 @@ class Network {
   /// Unique id source for packets.
   std::int64_t next_packet_id() { return ++packet_ids_; }
 
+  /// A fresh (value-reset, recycled) packet from this network's pool.
+  PacketPtr alloc_packet() { return pool_.make(); }
+
+  /// The packet recycling arena (exposed for tests and benchmarks).
+  const PacketPool& packet_pool() const { return pool_; }
+
   /// Bookkeeping: a packet entered / left the system.
   void on_packet_created() { ++packets_in_system_; }
   void on_packet_destroyed() { --packets_in_system_; }
+
+  /// A completion-mode server generated one of its budgeted packets
+  /// (drains the aggregate outstanding-work counter, see
+  /// run_until_drained).
+  void on_completion_packet_generated() { --completion_outstanding_; }
+
+  // --- active-set maintenance (called by Router on state transitions) -----
+
+  /// Router \p s gained its first buffered input packet / lost its last.
+  void router_alloc_activated(SwitchId s) { sorted_id_insert(alloc_active_, s); }
+  void router_alloc_deactivated(SwitchId s) { sorted_id_erase(alloc_active_, s); }
+
+  /// Router \p s gained its first waiting output packet / lost its last.
+  void router_link_activated(SwitchId s) { sorted_id_insert(link_active_, s); }
+  void router_link_deactivated(SwitchId s) { sorted_id_erase(link_active_, s); }
 
   // --- dynamic fault support ----------------------------------------------
 
@@ -147,9 +198,21 @@ class Network {
   int servers_per_switch_;
   Rng rng_;
 
+  // Declared before the routers/servers whose buffers hold PacketPtrs, so
+  // it is destroyed after every outstanding packet returned to it.
+  PacketPool pool_;
+
   // deque: Router/Server hold move-only buffers and must never relocate.
   std::deque<Router> routers_;
   std::deque<Server> servers_;
+
+  // Sorted ids of routers with per-cycle phase work (see step()). The
+  // scratch vector snapshots a list before iterating it, because phase
+  // work mutates the lists (grants empty input queues, transmissions
+  // drain output queues).
+  std::vector<SwitchId> alloc_active_;
+  std::vector<SwitchId> link_active_;
+  std::vector<SwitchId> phase_scratch_;
 
   static constexpr int kWheelBits = 6;
   static constexpr int kWheelSize = 1 << kWheelBits; ///< 64-cycle horizon
@@ -162,6 +225,10 @@ class Network {
   Cycle now_ = 0;
   Cycle last_progress_ = 0;
   long packets_in_system_ = 0;
+  /// Completion-mode packets not yet generated, summed over all servers;
+  /// packets_in_system_ + completion_outstanding_ == 0 means fully
+  /// drained, so run_until_drained never rescans the servers.
+  long completion_outstanding_ = 0;
   long dropped_packets_ = 0;
   std::int64_t packet_ids_ = 0;
 };

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "util/pool.hpp"
 #include "util/types.hpp"
 
 namespace hxsp {
@@ -42,7 +43,12 @@ struct Packet {
   bool escape_gone_down = false;   ///< strict-phase escape: took a Down hop
 };
 
-/// Owning pointer used when moving packets between buffers.
-using PacketPtr = std::unique_ptr<Packet>;
+/// Per-Network recycling arena for packets: the engine's steady state
+/// allocates nothing (see util/pool.hpp).
+using PacketPool = ObjectPool<Packet>;
+
+/// Owning pointer used when moving packets between buffers. Destruction
+/// returns the packet to its Network's pool.
+using PacketPtr = PacketPool::UniquePtr;
 
 } // namespace hxsp

@@ -1,5 +1,6 @@
 #include "sim/router.hpp"
 
+#include <algorithm>
 #include <limits>
 
 #include "sim/network.hpp"
@@ -8,31 +9,40 @@ namespace hxsp {
 
 Router::Router(SwitchId id, int num_switch_ports, int num_server_ports,
                const SimConfig& cfg)
-    : id_(id), num_switch_ports_(num_switch_ports), num_vcs_(cfg.num_vcs) {
+    : id_(id), num_switch_ports_(num_switch_ports), num_vcs_(cfg.num_vcs),
+      len_(cfg.packet_length), outbuf_cap_(cfg.output_buffer_phits()) {
+  HXSP_CHECK_MSG(num_vcs_ <= 32, "feasible_mask holds at most 32 VCs");
   const int total_ports = num_switch_ports + num_server_ports;
-  // Direct construction (not resize): these structs hold move-only deques.
-  inputs_ = std::vector<InputVc>(static_cast<std::size_t>(total_ports) *
-                                 static_cast<std::size_t>(num_vcs_));
-  outputs_ = std::vector<OutputPort>(static_cast<std::size_t>(total_ports));
-  for (auto& op : outputs_) {
-    op.vcs = std::vector<OutputVc>(static_cast<std::size_t>(num_vcs_));
-    for (auto& ov : op.vcs) {
-      ov.credits = cfg.input_buffer_phits();
-      ov.base_credits = cfg.input_buffer_phits();
-    }
+  const std::size_t total_vcs = static_cast<std::size_t>(total_ports) *
+                                static_cast<std::size_t>(num_vcs_);
+  // Direct construction (not resize): these structs hold move-only buffers.
+  inputs_ = std::vector<InputVc>(total_vcs);
+  for (auto& iv : inputs_) iv.q.reset_capacity(cfg.input_buffer_packets);
+  out_vcs_ = std::vector<OutputVc>(total_vcs);
+  for (auto& ov : out_vcs_) {
+    ov.q.reset_capacity(cfg.output_buffer_packets);
+    ov.credits = cfg.input_buffer_phits();
+    ov.base_credits = cfg.input_buffer_phits();
   }
+  out_qs_.assign(total_vcs, 0);
+  out_head_.assign(total_vcs, kNeverReady);
+  in_gate_.assign(total_vcs, 0);
+  outputs_ = std::vector<OutputPort>(static_cast<std::size_t>(total_ports));
+  for (Port p = 0; p < static_cast<Port>(total_ports); ++p)
+    for (Vc v = 0; v < num_vcs_; ++v) update_feasible(p, v);
   in_xbar_free_.assign(static_cast<std::size_t>(total_ports), 0);
   pending_.resize(static_cast<std::size_t>(total_ports));
 }
 
-void Router::mark_active(Port p, Vc v) {
+void Router::mark_active(Network& net, Port p, Vc v) {
   InputVc& iv = input_mut(p, v);
   if (iv.active_pos >= 0) return;
+  if (active_.empty()) net.router_alloc_activated(id_);
   iv.active_pos = static_cast<int>(active_.size());
   active_.push_back(static_cast<std::int32_t>(vc_index(p, v)));
 }
 
-void Router::unmark_active(Port p, Vc v) {
+void Router::unmark_active(Network& net, Port p, Vc v) {
   InputVc& iv = input_mut(p, v);
   if (iv.active_pos < 0) return;
   const int pos = iv.active_pos;
@@ -41,52 +51,58 @@ void Router::unmark_active(Port p, Vc v) {
   inputs_[static_cast<std::size_t>(last)].active_pos = pos;
   active_.pop_back();
   iv.active_pos = -1;
+  if (active_.empty()) net.router_alloc_deactivated(id_);
 }
 
-void Router::push_input([[maybe_unused]] Network& net, PacketPtr pkt, Port port,
-                        Vc vc, Cycle head, Cycle tail) {
+void Router::push_input(Network& net, PacketPtr pkt, Port port, Vc vc,
+                        Cycle head, Cycle tail) {
   InputVc& iv = input_mut(port, vc);
   pkt->buf_head = head;
   pkt->buf_tail = tail;
   iv.occupancy += pkt->length;
   HXSP_DCHECK(iv.occupancy <= net.cfg().input_buffer_phits());
-  if (iv.q.empty()) iv.cand_valid = false;
+  if (iv.q.empty()) {
+    iv.cand_valid = false;
+    // Fresh head: it can first request once its head phit is here, any
+    // in-progress drain of this VC finished, and the input port's
+    // crossbar is free again.
+    Cycle gate = head;
+    if (iv.drain_until > gate) gate = iv.drain_until;
+    const Cycle xbar = in_xbar_free_[static_cast<std::size_t>(port)];
+    if (xbar > gate) gate = xbar;
+    in_gate_[vc_index(port, vc)] = gate;
+  }
   iv.q.push_back(std::move(pkt));
-  mark_active(port, vc);
+  mark_active(net, port, vc);
 }
 
 int Router::queue_score(Port port, Vc vc) const {
   // Paper §3: qs = output buffer occupancy + consumed credits of the
   // requested queue; Q = qs + sum over all queues of the same port
-  // (so the requested queue counts twice).
-  const OutputPort& op = outputs_[static_cast<std::size_t>(port)];
-  int port_sum = 0;
-  int qs_requested = 0;
-  for (Vc v = 0; v < num_vcs_; ++v) {
-    const OutputVc& ov = op.vcs[static_cast<std::size_t>(v)];
-    const int consumed = ov.base_credits - ov.credits;
-    const int qs = ov.occupancy + consumed;
-    port_sum += qs;
-    if (v == vc) qs_requested = qs;
-  }
-  return qs_requested + port_sum;
+  // (so the requested queue counts twice). Both the per-VC qs and the
+  // per-port sum are maintained incrementally at every mutation site, so
+  // this is O(1).
+  return out_qs_[vc_index(port, vc)] +
+         outputs_[static_cast<std::size_t>(port)].score_sum;
 }
 
 void Router::alloc_phase(Network& net, Cycle now) {
   if (active_.empty()) return;
   const SimConfig& cfg = net.cfg();
   const int len = cfg.packet_length;
-  const int outbuf_cap = cfg.output_buffer_phits();
 
   // --- request phase: every eligible head posts one request ---------------
   for (std::size_t ai = 0; ai < active_.size(); ++ai) {
     const std::int32_t enc = active_[ai];
+    // The gate is the max of every lower bound on this head's next
+    // possible request (arrival, drain, input crossbar, output parking),
+    // so one compare replaces the whole eligibility chain.
+    if (now < in_gate_[static_cast<std::size_t>(enc)]) { continue; }
     InputVc& iv = inputs_[static_cast<std::size_t>(enc)];
-    if (iv.draining || iv.q.empty()) continue;
+    HXSP_DCHECK(!iv.draining && !iv.q.empty());
     Packet& pkt = *iv.q.front();
-    if (pkt.buf_head > now) continue;
-    const Port in_port = static_cast<Port>(enc / num_vcs_);
-    if (in_xbar_free_[static_cast<std::size_t>(in_port)] > now) continue;
+    HXSP_DCHECK(pkt.buf_head <= now);
+    HXSP_DCHECK(in_xbar_free_[static_cast<std::size_t>(enc / num_vcs_)] <= now);
 
     if (!iv.cand_valid) {
       iv.cand.clear();
@@ -105,19 +121,35 @@ void Router::alloc_phase(Network& net, Cycle now) {
       }
       iv.cand_valid = true;
     }
-    if (iv.cand.empty()) continue; // stuck: no legal move (e.g. DOR + fault)
+    if (iv.cand.empty()) {
+      // Stuck: no legal move at all (e.g. DOR + fault). Only a table
+      // rebuild can change that, and it resets the gate.
+      in_gate_[static_cast<std::size_t>(enc)] =
+          std::numeric_limits<Cycle>::max();
+      continue;
+    }
 
-    // Single request: the feasible candidate minimising Q + P.
+    // Single request: the feasible candidate minimising Q + P. While
+    // scanning, accumulate the earliest cycle any blocked candidate could
+    // become grantable, so a fruitless scan parks the head until then.
     int best_score = std::numeric_limits<int>::max();
     int best_idx = -1;
     int ties = 0;
+    Cycle wake = std::numeric_limits<Cycle>::max();
     for (std::size_t i = 0; i < iv.cand.size(); ++i) {
       const Candidate& c = iv.cand[i];
-      OutputPort& op = outputs_[static_cast<std::size_t>(c.port)];
-      if (op.xbar_free_at > now) continue;
-      OutputVc& ov = op.vcs[static_cast<std::size_t>(c.vc)];
-      if (ov.credits < len) continue;
-      if (ov.occupancy + len > outbuf_cap) continue;
+      const OutputPort& op = outputs_[static_cast<std::size_t>(c.port)];
+      if (op.xbar_free_at > now) {
+        // Release times only move forward: this candidate cannot be
+        // granted before op.xbar_free_at, whatever else happens.
+        if (op.xbar_free_at < wake) wake = op.xbar_free_at;
+        continue;
+      }
+      if ((op.feasible_mask & (1u << static_cast<unsigned>(c.vc))) == 0) {
+        // Credits or space missing; either could return next cycle.
+        wake = now + 1;
+        continue;
+      }
       const int score = queue_score(c.port, c.vc) + c.penalty;
       if (score < best_score) {
         best_score = score;
@@ -129,7 +161,12 @@ void Router::alloc_phase(Network& net, Cycle now) {
           best_idx = static_cast<int>(i);
       }
     }
-    if (best_idx < 0) continue;
+    if (best_idx < 0) {
+      // No request this cycle (a state the full rescan would also reach
+      // with zero side effects every cycle until `wake`): park the head.
+      in_gate_[static_cast<std::size_t>(enc)] = wake;
+      continue;
+    }
     const Candidate& c = iv.cand[static_cast<std::size_t>(best_idx)];
     auto& reqs = pending_[static_cast<std::size_t>(c.port)];
     if (reqs.empty()) dirty_outputs_.push_back(c.port);
@@ -167,9 +204,8 @@ void Router::alloc_phase(Network& net, Cycle now) {
       InputVc& iv = inputs_[static_cast<std::size_t>(req.in_enc)];
       const Port in_port = static_cast<Port>(req.in_enc / num_vcs_);
       const Vc in_vc = static_cast<Vc>(req.in_enc % num_vcs_);
-      PacketPtr pkt = std::move(iv.q.front());
-      iv.q.pop_front();
-      if (iv.q.empty()) unmark_active(in_port, in_vc);
+      PacketPtr pkt = iv.q.pop_front();
+      if (iv.q.empty()) unmark_active(net, in_port, in_vc);
       iv.draining = true;
       iv.cand_valid = false;
 
@@ -177,19 +213,40 @@ void Router::alloc_phase(Network& net, Cycle now) {
       // or when it has fully arrived, whichever is later.
       const Cycle drain_done =
           std::max(now + cfg.xbar_cycles(), pkt->buf_tail);
+      iv.drain_until = drain_done;
       net.schedule(drain_done,
                    {Event::Kind::InDrainDone, in_vc, in_port, id_, 0});
-      in_xbar_free_[static_cast<std::size_t>(in_port)] = now + cfg.xbar_cycles();
+      const Cycle xbar_free = now + cfg.xbar_cycles();
+      in_xbar_free_[static_cast<std::size_t>(in_port)] = xbar_free;
+      // Gate every VC of the claimed input port behind its crossbar; the
+      // granted VC additionally waits for its drain to finish and for the
+      // next head's phits to arrive.
+      for (Vc v = 0; v < num_vcs_; ++v) {
+        Cycle& gate = in_gate_[vc_index(in_port, v)];
+        if (gate < xbar_free) gate = xbar_free;
+      }
+      {
+        Cycle& gate = in_gate_[static_cast<std::size_t>(req.in_enc)];
+        gate = drain_done;
+        if (!iv.q.empty() && iv.q.front()->buf_head > gate)
+          gate = iv.q.front()->buf_head;
+      }
 
       OutputPort& op = outputs_[static_cast<std::size_t>(out_port)];
       op.xbar_free_at = now + cfg.xbar_cycles();
-      OutputVc& ov = op.vcs[static_cast<std::size_t>(req.out_vc)];
+      OutputVc& ov = output_vc_mut(out_port, req.out_vc);
       ov.credits -= len;
       ov.occupancy += len;
-      ++op.waiting;
+      op.score_sum += 2 * len; // +len occupancy, +len consumed credits
+      out_qs_[vc_index(out_port, req.out_vc)] += 2 * len;
+      update_feasible(out_port, req.out_vc);
+      if (op.waiting++ == 0) sorted_id_insert(link_ports_, out_port);
+      if (waiting_total_++ == 0) net.router_link_activated(id_);
 
       pkt->buf_head = now + cfg.xbar_latency;
       pkt->buf_tail = drain_done + cfg.xbar_latency;
+      if (ov.q.empty())
+        out_head_[vc_index(out_port, req.out_vc)] = pkt->buf_head;
 
       if (out_port < num_switch_ports_) {
         const Candidate cand{out_port, req.out_vc, 0, req.escape,
@@ -210,16 +267,21 @@ void Router::alloc_phase(Network& net, Cycle now) {
 void Router::link_phase(Network& net, Cycle now) {
   const SimConfig& cfg = net.cfg();
   const int len = cfg.packet_length;
-  for (Port p = 0; p < static_cast<Port>(outputs_.size()); ++p) {
+  // Snapshot: transmissions may drain a port and shrink link_ports_.
+  link_scratch_.assign(link_ports_.begin(), link_ports_.end());
+  for (const Port p : link_scratch_) {
     OutputPort& op = outputs_[static_cast<std::size_t>(p)];
     if (op.waiting == 0 || op.link_free_at > now) continue;
+    const std::size_t vbase = vc_index(p, 0);
     for (int k = 0; k < num_vcs_; ++k) {
       const int v = (op.rr_next + k) % num_vcs_;
-      OutputVc& ov = op.vcs[static_cast<std::size_t>(v)];
-      if (ov.q.empty() || ov.q.front()->buf_head > now) continue;
-      PacketPtr pkt = std::move(ov.q.front());
-      ov.q.pop_front();
-      --op.waiting;
+      if (out_head_[vbase + static_cast<std::size_t>(v)] > now) continue;
+      OutputVc& ov = out_vcs_[vbase + static_cast<std::size_t>(v)];
+      PacketPtr pkt = ov.q.pop_front();
+      out_head_[vbase + static_cast<std::size_t>(v)] =
+          ov.q.empty() ? kNeverReady : ov.q.front()->buf_head;
+      if (--op.waiting == 0) sorted_id_erase(link_ports_, p);
+      if (--waiting_total_ == 0) net.router_link_deactivated(id_);
       op.link_free_at = now + len;
       op.rr_next = (v + 1) % num_vcs_;
       net.schedule(now + len, {Event::Kind::OutTailGone, static_cast<Vc>(v), p,
@@ -249,66 +311,96 @@ void Router::input_drain_done(Network& net, Port port, Vc vc) {
   HXSP_DCHECK(iv.occupancy >= 0);
 }
 
-void Router::output_tail_gone(Port port, Vc vc, int phits) {
-  OutputVc& ov =
-      outputs_[static_cast<std::size_t>(port)].vcs[static_cast<std::size_t>(vc)];
-  ov.occupancy -= phits;
-  HXSP_DCHECK(ov.occupancy >= 0);
-}
-
-void Router::credit_return(Port port, Vc vc, int phits) {
-  OutputVc& ov =
-      outputs_[static_cast<std::size_t>(port)].vcs[static_cast<std::size_t>(vc)];
-  ov.credits += phits;
-}
-
 void Router::on_tables_rebuilt() {
-  for (auto& iv : inputs_) {
-    iv.cand_valid = false;
-    // Strict-phase escape liveness is proven per table build; restart the
-    // phase so every packet re-derives a valid route on the new tables.
-    for (auto& pkt : iv.q) pkt->escape_gone_down = false;
+  for (Port p = 0; p < static_cast<Port>(outputs_.size()); ++p) {
+    for (Vc v = 0; v < num_vcs_; ++v) {
+      InputVc& iv = input_mut(p, v);
+      iv.cand_valid = false;
+      // Drop the (stale-candidate-based) output park bound from the gate
+      // but keep the exact input-side bounds, so every head rescans as
+      // soon as it legally can on the new tables.
+      Cycle gate = 0;
+      if (!iv.q.empty()) {
+        gate = iv.q.front()->buf_head;
+        if (iv.drain_until > gate) gate = iv.drain_until;
+        const Cycle xbar = in_xbar_free_[static_cast<std::size_t>(p)];
+        if (xbar > gate) gate = xbar;
+      }
+      in_gate_[vc_index(p, v)] = gate;
+      // Strict-phase escape liveness is proven per table build; restart
+      // the phase so every packet re-derives a valid route on the new
+      // tables.
+      for (int i = 0; i < iv.q.size(); ++i) iv.q[i]->escape_gone_down = false;
+    }
   }
-  for (auto& op : outputs_)
-    for (auto& ov : op.vcs)
-      for (auto& pkt : ov.q) pkt->escape_gone_down = false;
+  for (auto& ov : out_vcs_)
+    for (int i = 0; i < ov.q.size(); ++i) ov.q[i]->escape_gone_down = false;
 }
 
-int Router::drop_output_queue(Port port, const SimConfig& cfg) {
+int Router::drop_output_queue(Network& net, Port port) {
+  const int len = net.cfg().packet_length;
   OutputPort& op = outputs_[static_cast<std::size_t>(port)];
   int dropped = 0;
-  for (auto& ov : op.vcs) {
+  for (Vc v = 0; v < num_vcs_; ++v) {
+    OutputVc& ov = output_vc_mut(port, v);
     while (!ov.q.empty()) {
-      ov.q.pop_front(); // destroys the packet
-      ov.occupancy -= cfg.packet_length; // no OutTailGone will fire
-      ov.credits += cfg.packet_length;   // reserved downstream space unused
+      (void)ov.q.pop_front(); // destroys the packet (back to the pool)
+      ov.occupancy -= len;    // no OutTailGone will fire
+      ov.credits += len;      // reserved downstream space unused
+      op.score_sum -= 2 * len;
+      out_qs_[vc_index(port, v)] -= 2 * len;
       --op.waiting;
+      --waiting_total_;
       ++dropped;
     }
+    out_head_[vc_index(port, v)] = kNeverReady;
+    update_feasible(port, v);
+  }
+  if (dropped > 0) {
+    if (op.waiting == 0) sorted_id_erase(link_ports_, port);
+    if (waiting_total_ == 0) net.router_link_deactivated(id_);
   }
   return dropped;
 }
 
 int Router::buffered_packets() const {
   int n = 0;
-  for (const auto& iv : inputs_) n += static_cast<int>(iv.q.size());
-  for (const auto& op : outputs_)
-    for (const auto& ov : op.vcs) n += static_cast<int>(ov.q.size());
+  for (const auto& iv : inputs_) n += iv.q.size();
+  for (const auto& ov : out_vcs_) n += ov.q.size();
   return n;
 }
 
 void Router::check_invariants(const SimConfig& cfg) const {
   for (const auto& iv : inputs_) {
     HXSP_CHECK(iv.occupancy >= 0 && iv.occupancy <= cfg.input_buffer_phits());
-    HXSP_CHECK(static_cast<int>(iv.q.size()) * cfg.packet_length <=
+    HXSP_CHECK(iv.q.size() * cfg.packet_length <=
                iv.occupancy + (iv.draining ? cfg.packet_length : 0));
   }
-  for (const auto& op : outputs_) {
-    for (const auto& ov : op.vcs) {
+  int waiting = 0;
+  for (Port p = 0; p < static_cast<Port>(outputs_.size()); ++p) {
+    const OutputPort& op = outputs_[static_cast<std::size_t>(p)];
+    int score_sum = 0;
+    for (Vc v = 0; v < num_vcs_; ++v) {
+      const OutputVc& ov = output_vc(p, v);
       HXSP_CHECK(ov.occupancy >= 0 && ov.occupancy <= cfg.output_buffer_phits());
       HXSP_CHECK(ov.credits >= 0);
+      const int qs = ov.occupancy + (ov.base_credits - ov.credits);
+      HXSP_CHECK(out_qs_[vc_index(p, v)] == qs);
+      HXSP_CHECK(out_head_[vc_index(p, v)] ==
+                 (ov.q.empty() ? kNeverReady : ov.q.front()->buf_head));
+      const bool feasible = ov.credits >= len_ &&
+                            ov.occupancy + len_ <= outbuf_cap_;
+      HXSP_CHECK(((op.feasible_mask >> static_cast<unsigned>(v)) & 1u) ==
+                 (feasible ? 1u : 0u));
+      score_sum += qs;
     }
+    HXSP_CHECK(op.score_sum == score_sum);
+    waiting += op.waiting;
+    const bool listed = std::binary_search(link_ports_.begin(),
+                                           link_ports_.end(), p);
+    HXSP_CHECK(listed == (op.waiting > 0));
   }
+  HXSP_CHECK(waiting_total_ == waiting);
 }
 
 } // namespace hxsp

@@ -23,14 +23,25 @@
 ///     qs = output occupancy + consumed credits of the requested queue,
 ///     Q  = qs + sum of qs' over all queues of the requested port,
 /// and makes a single request to the minimum; ties break randomly. Each
-/// output port then grants the best request it received this cycle.
+/// output port then grants the best request it received this cycle. The
+/// per-port sum of qs is maintained incrementally (OutputPort::score_sum,
+/// updated at the four mutation sites: grant commit, tail departure,
+/// credit return, dead-link drop), so scoring one candidate is O(1)
+/// instead of O(num_vcs) — it is the innermost arithmetic of the engine,
+/// evaluated per candidate per active head per cycle.
+///
+/// All packet queues are bounded by flow control, so they live in
+/// fixed-capacity ring buffers (util/ringbuf.hpp) instead of deques; see
+/// that header for the capacity argument.
 
-#include <deque>
+#include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "routing/mechanism.hpp"
 #include "sim/config.hpp"
 #include "sim/packet.hpp"
+#include "util/ringbuf.hpp"
 #include "util/types.hpp"
 
 namespace hxsp {
@@ -39,9 +50,12 @@ class Network;
 
 /// Per-(input port, VC) buffer state.
 struct InputVc {
-  std::deque<PacketPtr> q;       ///< waiting packets; front = head
+  RingBuf<PacketPtr> q;          ///< waiting packets; front = head
   int occupancy = 0;             ///< phits of reserved space
   bool draining = false;         ///< head transfer in progress
+  Cycle drain_until = 0;         ///< when the in-progress drain completes
+                                 ///< (valid whenever draining; kept for
+                                 ///< exact gate reconstruction)
   bool cand_valid = false;       ///< cached candidates valid for current head
   std::vector<Candidate> cand;   ///< cached candidate set of the head
   int num_routing_cands = 0;     ///< non-escape entries in `cand`
@@ -49,21 +63,32 @@ struct InputVc {
 };
 
 /// Per-(output port, VC) buffer state plus the credit counter for the
-/// downstream input buffer this queue feeds.
+/// downstream input buffer this queue feeds. Stored flattened
+/// ([port][vc], like InputVc) so the allocator's per-candidate probe is
+/// one computed address instead of a pointer chase through a per-port
+/// vector.
 struct OutputVc {
-  std::deque<PacketPtr> q;  ///< packets heading for the link; front = next
+  RingBuf<PacketPtr> q;     ///< packets heading for the link; front = next
   int occupancy = 0;        ///< phits reserved (grant) until tail departs
   int credits = 0;          ///< free phits in the downstream input buffer
   int base_credits = 0;     ///< downstream capacity (for consumed-credit Q)
 };
 
-/// Per-output-port state shared by its VCs.
+/// Per-output-port state shared by its VCs (kept small: the link phase
+/// scans these sequentially every active cycle, and the allocator's
+/// request loop probes one per candidate).
 struct OutputPort {
-  std::vector<OutputVc> vcs;
   Cycle link_free_at = 0;   ///< next cycle the outgoing link can start
   Cycle xbar_free_at = 0;   ///< next cycle the crossbar may grant to it
   int rr_next = 0;          ///< round-robin pointer for link scheduling
   int waiting = 0;          ///< packets queued across this port's VCs
+  int score_sum = 0;        ///< running sum of (occupancy + consumed
+                            ///< credits) over this port's VCs — the paper's
+                            ///< per-port Q term, maintained incrementally
+  std::uint32_t feasible_mask = 0; ///< bit v: VC v has the credits and the
+                                   ///< buffer space for one whole packet
+                                   ///< (virtual cut-through feasibility),
+                                   ///< updated wherever either input moves
 };
 
 /// One switch of the network.
@@ -101,10 +126,32 @@ class Router {
   void input_drain_done(Network& net, Port port, Vc vc);
 
   /// A packet's tail (\p phits long) left output (port,vc) over the link.
-  void output_tail_gone(Port port, Vc vc, int phits);
+  /// Inline: fires once per transmitted packet via the event wheel.
+  void output_tail_gone(Port port, Vc vc, int phits) {
+    OutputVc& ov = output_vc_mut(port, vc);
+    ov.occupancy -= phits;
+    outputs_[static_cast<std::size_t>(port)].score_sum -= phits;
+    out_qs_[vc_index(port, vc)] -= phits;
+    update_feasible(port, vc);
+    HXSP_DCHECK(ov.occupancy >= 0);
+  }
 
   /// Credit arrived from the downstream buffer of output (port,vc).
-  void credit_return(Port port, Vc vc, int phits);
+  /// Inline: fires once per forwarded packet via the event wheel.
+  void credit_return(Port port, Vc vc, int phits) {
+    output_vc_mut(port, vc).credits += phits;
+    outputs_[static_cast<std::size_t>(port)].score_sum -= phits; // consumed shrank
+    out_qs_[vc_index(port, vc)] -= phits;
+    update_feasible(port, vc);
+  }
+
+  /// True while this router has any buffered input packet (mirrors
+  /// membership in the network's alloc active set).
+  bool has_input_work() const { return !active_.empty(); }
+
+  /// True while any output VC holds a packet awaiting its link (mirrors
+  /// membership in the network's link active set).
+  bool has_link_work() const { return waiting_total_ > 0; }
 
   // --- dynamic fault support ----------------------------------------------
 
@@ -117,7 +164,7 @@ class Router {
   /// (they were heading over a link that just died and can no longer be
   /// transmitted). Frees their buffer reservation and returns their
   /// credits. Returns the number of packets lost.
-  int drop_output_queue(Port port, const SimConfig& cfg);
+  int drop_output_queue(Network& net, Port port);
 
   // --- accessors for tests / diagnostics ----------------------------------
 
@@ -126,6 +173,9 @@ class Router {
   }
   const OutputPort& output(Port p) const {
     return outputs_[static_cast<std::size_t>(p)];
+  }
+  const OutputVc& output_vc(Port p, Vc v) const {
+    return out_vcs_[static_cast<std::size_t>(vc_index(p, v))];
   }
 
   /// Total packets buffered in this router (inputs + outputs).
@@ -143,12 +193,27 @@ class Router {
   }
 
   InputVc& input_mut(Port p, Vc v) { return inputs_[vc_index(p, v)]; }
+  OutputVc& output_vc_mut(Port p, Vc v) { return out_vcs_[vc_index(p, v)]; }
 
-  /// Adds (port,vc) to the active list if absent.
-  void mark_active(Port p, Vc v);
+  /// Recomputes output (p,v)'s bit of OutputPort::feasible_mask from its
+  /// credit and occupancy state. Called at every mutation site.
+  void update_feasible(Port p, Vc v) {
+    const OutputVc& ov = out_vcs_[vc_index(p, v)];
+    const std::uint32_t bit = 1u << static_cast<unsigned>(v);
+    OutputPort& op = outputs_[static_cast<std::size_t>(p)];
+    if (ov.credits >= len_ && ov.occupancy + len_ <= outbuf_cap_)
+      op.feasible_mask |= bit;
+    else
+      op.feasible_mask &= ~bit;
+  }
 
-  /// Removes (port,vc) from the active list.
-  void unmark_active(Port p, Vc v);
+  /// Adds (port,vc) to the active list if absent (notifying the network
+  /// when the router as a whole gains its first buffered packet).
+  void mark_active(Network& net, Port p, Vc v);
+
+  /// Removes (port,vc) from the active list (notifying the network when
+  /// the router runs out of buffered packets).
+  void unmark_active(Network& net, Port p, Vc v);
 
   /// Q term of the paper's allocation rule for output (port,vc).
   int queue_score(Port port, Vc vc) const;
@@ -156,10 +221,41 @@ class Router {
   SwitchId id_;
   int num_switch_ports_;
   int num_vcs_;
+  int len_ = 0;                     ///< SimConfig::packet_length
+  int outbuf_cap_ = 0;              ///< SimConfig::output_buffer_phits()
+  int waiting_total_ = 0;           ///< sum of OutputPort::waiting
   std::vector<InputVc> inputs_;     ///< [port][vc] flattened
+  std::vector<OutputVc> out_vcs_;   ///< [port][vc] flattened
   std::vector<OutputPort> outputs_; ///< [port]
+  /// Incrementally maintained qs = occupancy + consumed credits per
+  /// output (port,vc), flattened like out_vcs_. The request loop reads
+  /// only this and OutputPort, never the (colder) OutputVc structs.
+  std::vector<int> out_qs_;
+  /// buf_head of each output queue's front packet, or kNeverReady when
+  /// the queue is empty — flattened like out_vcs_, so the link phase's
+  /// round-robin scan reads one compact line per port and never touches
+  /// packets or ring buffers until it actually transmits.
+  std::vector<Cycle> out_head_;
+  static constexpr Cycle kNeverReady = std::numeric_limits<Cycle>::max();
   std::vector<Cycle> in_xbar_free_; ///< per input port
   std::vector<std::int32_t> active_; ///< encoded (port*V+vc) of non-empty inputs
+  /// Head gate per input (port,vc): the earliest cycle the current head
+  /// could possibly post a request — the max of its known lower bounds
+  /// (head phit arrival, drain completion, the input port's crossbar
+  /// release, and the output-side park time from a fruitless scan; +inf
+  /// while the head has no legal candidate at all). Every bound has an
+  /// exactly-known expiry or is refreshed at its mutation site, so the
+  /// request loop's whole eligibility chain is one compare against a
+  /// compact array — and skipped heads are exactly the heads that could
+  /// not have posted a request (they draw no RNG, so skipping preserves
+  /// bit-identical behaviour).
+  std::vector<Cycle> in_gate_;
+
+  /// Sorted ports with waiting > 0 (so the link phase visits only ports
+  /// that can possibly transmit, in the same ascending order as a full
+  /// scan), plus the snapshot iterated while transmissions mutate it.
+  std::vector<Port> link_ports_;
+  std::vector<Port> link_scratch_;
 
   /// A request posted to an output port during the current cycle.
   struct Request {

@@ -5,9 +5,11 @@
 namespace hxsp {
 
 Server::Server(ServerId id, SwitchId sw, int local, const SimConfig& cfg)
-    : id_(id), switch_(sw), local_(local),
-      queue_capacity_(cfg.server_queue_packets),
-      credits_(static_cast<std::size_t>(cfg.num_vcs), cfg.input_buffer_phits()) {}
+    : queue_capacity_(cfg.server_queue_packets), id_(id), switch_(sw),
+      local_(local),
+      credits_(static_cast<std::size_t>(cfg.num_vcs), cfg.input_buffer_phits()) {
+  queue_.reset_capacity(queue_capacity_);
+}
 
 void Server::set_offered_load(double load, int packet_length) {
   HXSP_CHECK(load >= 0.0);
@@ -23,7 +25,7 @@ void Server::set_completion(long packets) {
 }
 
 void Server::make_packet(Network& net, Cycle now) {
-  auto pkt = std::make_unique<Packet>();
+  PacketPtr pkt = net.alloc_packet();
   pkt->id = net.next_packet_id();
   pkt->src_server = id_;
   pkt->dst_server = net.traffic().destination(id_, net.rng());
@@ -38,19 +40,13 @@ void Server::make_packet(Network& net, Cycle now) {
   queue_.push_back(std::move(pkt));
 }
 
-void Server::generation_phase(Network& net, Cycle now) {
-  if (remaining_ >= 0) {
-    // Completion mode: refill the queue as fast as it drains.
-    while (remaining_ > 0 && static_cast<int>(queue_.size()) < queue_capacity_) {
-      make_packet(net, now);
-      --remaining_;
-    }
-    return;
+void Server::completion_refill(Network& net, Cycle now) {
+  // Completion mode: refill the queue as fast as it drains.
+  while (remaining_ > 0 && queue_.size() < queue_capacity_) {
+    make_packet(net, now);
+    --remaining_;
+    net.on_completion_packet_generated();
   }
-  if (inject_prob_ <= 0.0 || !net.rng().next_bool(inject_prob_)) return;
-  // A generation attempt against a full queue is lost: this backpressure
-  // is what the Jain index of generated load measures.
-  if (static_cast<int>(queue_.size()) < queue_capacity_) make_packet(net, now);
 }
 
 void Server::injection_phase(Network& net, Cycle now) {
@@ -73,8 +69,7 @@ void Server::injection_phase(Network& net, Cycle now) {
   }
   if (best == kInvalid) return;
 
-  PacketPtr pkt = std::move(queue_.front());
-  queue_.pop_front();
+  PacketPtr pkt = queue_.pop_front();
   pkt->injected = now;
   pkt->cur_vc = best;
   credits_[static_cast<std::size_t>(best)] -= len;
@@ -86,10 +81,6 @@ void Server::injection_phase(Network& net, Cycle now) {
   const Cycle tail = head + len - 1;
   net.deliver(std::move(pkt), switch_, port, best, head, tail);
   net.note_progress();
-}
-
-void Server::credit_return(Vc vc, int phits) {
-  credits_[static_cast<std::size_t>(vc)] += phits;
 }
 
 } // namespace hxsp

@@ -11,11 +11,12 @@
 /// fixed number of packets per server and injects them as fast as the
 /// queue drains (paper Fig 10).
 
-#include <deque>
 #include <vector>
 
 #include "sim/config.hpp"
 #include "sim/packet.hpp"
+#include "util/ringbuf.hpp"
+#include "util/rng.hpp"
 #include "util/types.hpp"
 
 namespace hxsp {
@@ -28,13 +29,34 @@ class Server {
   Server(ServerId id, SwitchId sw, int local, const SimConfig& cfg);
 
   /// Bernoulli generation (rate mode) or queue refill (completion mode).
-  void generation_phase(Network& net, Cycle now);
+  /// Inline fast path: this runs for every server every cycle — and in
+  /// rate mode must draw from \p rng every cycle to keep the global RNG
+  /// stream identical — so the common "no packet this cycle" case is a
+  /// couple of loads and one draw with no function call.
+  void generation_phase(Network& net, Cycle now, Rng& rng) {
+    if (remaining_ >= 0) {
+      completion_refill(net, now);
+      return;
+    }
+    if (inject_prob_ <= 0.0 || !rng.next_bool(inject_prob_)) return;
+    // A generation attempt against a full queue is lost: this
+    // backpressure is what the Jain index of generated load measures.
+    if (queue_.size() < queue_capacity_) make_packet(net, now);
+  }
 
   /// Moves the queue head onto the injection link when possible.
   void injection_phase(Network& net, Cycle now);
 
+  /// True when injection_phase would do more than immediately return —
+  /// the per-cycle gate that lets the network skip idle servers.
+  bool injection_ready(Cycle now) const {
+    return !queue_.empty() && link_free_at_ <= now;
+  }
+
   /// Credit returned by the router's server-port input buffer.
-  void credit_return(Vc vc, int phits);
+  void credit_return(Vc vc, int phits) {
+    credits_[static_cast<std::size_t>(vc)] += phits;
+  }
 
   /// Sets the offered load in phits/cycle (rate mode).
   void set_offered_load(double load, int packet_length);
@@ -43,7 +65,7 @@ class Server {
   void set_completion(long packets);
 
   /// Packets still waiting in the injection queue.
-  int queued() const { return static_cast<int>(queue_.size()); }
+  int queued() const { return queue_.size(); }
 
   /// Packets not yet generated in completion mode (0 in rate mode).
   long remaining() const { return remaining_ < 0 ? 0 : remaining_; }
@@ -55,15 +77,21 @@ class Server {
  private:
   void make_packet(Network& net, Cycle now);
 
+  /// Completion-mode branch of generation_phase (out of line: runs a
+  /// refill loop and touches Network bookkeeping).
+  void completion_refill(Network& net, Cycle now);
+
+  // Hot fields first: the per-cycle generation/injection gates read only
+  // this leading cache line.
+  long remaining_ = -1;      ///< completion mode budget; -1 = rate mode
+  double inject_prob_ = 0.0; ///< packets per cycle (Bernoulli)
+  Cycle link_free_at_ = 0;
+  int queue_capacity_;
+  RingBuf<PacketPtr> queue_;
   ServerId id_;
   SwitchId switch_;
   int local_; ///< index among the servers of this switch
-  int queue_capacity_;
-  double inject_prob_ = 0.0; ///< packets per cycle (Bernoulli)
-  long remaining_ = -1;      ///< completion mode budget; -1 = rate mode
-  std::deque<PacketPtr> queue_;
   std::vector<int> credits_; ///< per VC of the router's server-port buffer
-  Cycle link_free_at_ = 0;
   // Scratch for injection_phase(); instance-scoped (not static/thread_local)
   // so concurrent Networks on a sweep pool never share it.
   std::vector<Vc> legal_scratch_;

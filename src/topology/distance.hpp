@@ -30,6 +30,13 @@ class DistanceTable {
     return d_[static_cast<std::size_t>(a) * n_ + static_cast<std::size_t>(b)];
   }
 
+  /// Row of distances from \p a (contiguous, indexable by SwitchId).
+  /// Links are undirected, so row(a)[b] == at(b, a) too — hot loops over
+  /// the neighbours of one switch should walk rows, not columns.
+  const std::uint8_t* row(SwitchId a) const {
+    return &d_[static_cast<std::size_t>(a) * n_];
+  }
+
   /// True when a path exists between \p a and \p b.
   bool reachable(SwitchId a, SwitchId b) const { return at(a, b) != kUnreachable; }
 

@@ -7,6 +7,18 @@ namespace hxsp {
 Graph::Graph(SwitchId num_switches) {
   HXSP_CHECK(num_switches > 0);
   ports_.resize(static_cast<std::size_t>(num_switches));
+  alive_ports_.resize(static_cast<std::size_t>(num_switches));
+}
+
+void Graph::rebuild_alive_ports(SwitchId s) {
+  auto& view = alive_ports_[static_cast<std::size_t>(s)];
+  view.clear();
+  const auto& table = ports_[static_cast<std::size_t>(s)];
+  for (Port p = 0; p < static_cast<Port>(table.size()); ++p) {
+    const PortInfo& pi = table[static_cast<std::size_t>(p)];
+    if (link_alive_[static_cast<std::size_t>(pi.link)])
+      view.push_back({p, pi.neighbor, pi.link});
+  }
 }
 
 LinkId Graph::add_link(SwitchId a, SwitchId b) {
@@ -20,6 +32,8 @@ LinkId Graph::add_link(SwitchId a, SwitchId b) {
   links_.push_back({a, b, pa, pb});
   link_alive_.push_back(1);
   ++alive_links_;
+  alive_ports_[static_cast<std::size_t>(a)].push_back({pa, b, id});
+  alive_ports_[static_cast<std::size_t>(b)].push_back({pb, a, id});
   return id;
 }
 
@@ -28,6 +42,8 @@ void Graph::fail_link(LinkId l) {
   if (alive) {
     alive = 0;
     --alive_links_;
+    rebuild_alive_ports(links_[static_cast<std::size_t>(l)].a);
+    rebuild_alive_ports(links_[static_cast<std::size_t>(l)].b);
   }
 }
 
@@ -36,6 +52,8 @@ void Graph::restore_link(LinkId l) {
   if (!alive) {
     alive = 1;
     ++alive_links_;
+    rebuild_alive_ports(links_[static_cast<std::size_t>(l)].a);
+    rebuild_alive_ports(links_[static_cast<std::size_t>(l)].b);
   }
 }
 

@@ -23,6 +23,15 @@ struct PortInfo {
   LinkId link = kInvalid;       ///< Global undirected link id.
 };
 
+/// Compact entry of the per-switch alive-port view (see
+/// Graph::alive_ports): only the fields routing hot loops read, with dead
+/// links already filtered out.
+struct AlivePort {
+  Port port;         ///< local port number
+  SwitchId neighbor; ///< switch at the other end
+  LinkId link;       ///< global link id (escape colouring lookups)
+};
+
 /// Undirected multigraph over switches, with O(1) port lookup and
 /// link-level fault toggling.
 class Graph {
@@ -51,6 +60,14 @@ class Graph {
   /// Port table for switch \p s (indexed by local port number).
   const std::vector<PortInfo>& ports(SwitchId s) const {
     return ports_[static_cast<std::size_t>(s)];
+  }
+
+  /// Alive ports of switch \p s in ascending port order — the candidate
+  /// loops' view of the topology. Walking this instead of ports() skips
+  /// dead links without a per-port link_alive() indirection; it is kept
+  /// in sync by add_link / fail_link / restore_link.
+  const std::vector<AlivePort>& alive_ports(SwitchId s) const {
+    return alive_ports_[static_cast<std::size_t>(s)];
   }
 
   /// Endpoint info of the link behind (switch, port).
@@ -96,7 +113,11 @@ class Graph {
   int num_components() const;
 
  private:
+  /// Rebuilds the alive-port view of switch \p s from ports_.
+  void rebuild_alive_ports(SwitchId s);
+
   std::vector<std::vector<PortInfo>> ports_;
+  std::vector<std::vector<AlivePort>> alive_ports_; ///< filtered ports_
   std::vector<LinkEnds> links_;
   std::vector<char> link_alive_; ///< char (not bool) for data-race-free simplicity
   LinkId alive_links_ = 0;

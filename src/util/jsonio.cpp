@@ -48,6 +48,11 @@ const std::string& JsonValue::as_string() const {
   return scalar_;
 }
 
+const std::string& JsonValue::number_token() const {
+  HXSP_CHECK_MSG(kind_ == Kind::kNumber, "JSON value is not a number");
+  return scalar_;
+}
+
 const std::vector<JsonValue>& JsonValue::array() const {
   HXSP_CHECK_MSG(kind_ == Kind::kArray, "JSON value is not an array");
   return array_;
@@ -329,6 +334,12 @@ JsonWriter& JsonWriter::value(bool b) {
 JsonWriter& JsonWriter::value(double d) {
   separate();
   out_ += fmt_double17(d);
+  return *this;
+}
+
+JsonWriter& JsonWriter::raw_number(const std::string& token) {
+  separate();
+  out_ += token;
   return *this;
 }
 

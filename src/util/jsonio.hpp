@@ -34,6 +34,9 @@ class JsonValue {
   std::uint64_t as_u64() const;
   int as_int() const;
   const std::string& as_string() const;
+  /// Raw textual token of a number value, exactly as parsed — lets a
+  /// caller re-emit a number without any reformatting loss.
+  const std::string& number_token() const;
   const std::vector<JsonValue>& array() const;
   const std::vector<std::pair<std::string, JsonValue>>& object() const;
 
@@ -72,6 +75,9 @@ class JsonWriter {
   JsonWriter& value(std::int64_t v);
   JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
   JsonWriter& value(std::uint64_t v);
+  /// Emits \p token verbatim as a number value (pairs with
+  /// JsonValue::number_token() for lossless re-emission).
+  JsonWriter& raw_number(const std::string& token);
 
   const std::string& str() const { return out_; }
 

@@ -1,0 +1,98 @@
+#pragma once
+/// \file ringbuf.hpp
+/// Bounded FIFO ring buffer over one contiguous allocation.
+///
+/// The engine's packet queues (router input/output VCs, server injection
+/// queues) are all bounded by construction — credit-based flow control
+/// caps an input FIFO at input_buffer_packets, the grant check caps an
+/// output FIFO at output_buffer_packets, and the server queue at
+/// server_queue_packets. A std::deque pays a map + chunk allocation and a
+/// double indirection for what is at most a handful of slots; RingBuf
+/// stores those slots in one power-of-two array indexed with a mask, so
+/// push/pop/front are a couple of arithmetic ops on memory that stays
+/// cache-resident for the lifetime of the queue.
+///
+/// Capacity is fixed by reset_capacity() (called once when the owning
+/// component is built from its SimConfig); exceeding it is a logic error
+/// (HXSP_DCHECK), never a reallocation.
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace hxsp {
+
+/// Fixed-capacity FIFO. Elements are indexable from the front (operator[])
+/// for in-place sweeps over queued items. Move-only when T is move-only.
+template <typename T>
+class RingBuf {
+ public:
+  RingBuf() = default;
+
+  /// (Re)allocates storage for \p capacity elements (rounded up to a power
+  /// of two internally). Must be empty; existing storage is discarded.
+  void reset_capacity(int capacity) {
+    HXSP_CHECK(capacity > 0);
+    HXSP_CHECK(size_ == 0);
+    cap_ = capacity;
+    std::uint32_t slots = 1;
+    while (slots < static_cast<std::uint32_t>(capacity)) slots <<= 1;
+    mask_ = slots - 1;
+    buf_ = std::make_unique<T[]>(slots);
+    head_ = 0;
+  }
+
+  bool empty() const { return size_ == 0; }
+  int size() const { return size_; }
+  int capacity() const { return cap_; }
+
+  T& front() {
+    HXSP_DCHECK(size_ > 0);
+    return buf_[head_ & mask_];
+  }
+  const T& front() const {
+    HXSP_DCHECK(size_ > 0);
+    return buf_[head_ & mask_];
+  }
+
+  /// i-th element from the front (0 = front()).
+  T& operator[](int i) {
+    HXSP_DCHECK(i >= 0 && i < size_);
+    return buf_[(head_ + static_cast<std::uint32_t>(i)) & mask_];
+  }
+  const T& operator[](int i) const {
+    HXSP_DCHECK(i >= 0 && i < size_);
+    return buf_[(head_ + static_cast<std::uint32_t>(i)) & mask_];
+  }
+
+  void push_back(T v) {
+    HXSP_DCHECK(size_ < cap_);
+    buf_[(head_ + static_cast<std::uint32_t>(size_)) & mask_] = std::move(v);
+    ++size_;
+  }
+
+  /// Removes and returns the front element.
+  T pop_front() {
+    HXSP_DCHECK(size_ > 0);
+    T v = std::move(buf_[head_ & mask_]);
+    ++head_;  // uint32 wrap is harmless: slot count divides 2^32
+    --size_;
+    return v;
+  }
+
+  /// Destroys every queued element (slots are reset to T{}).
+  void clear() {
+    while (size_ > 0) (void)pop_front();
+  }
+
+ private:
+  std::unique_ptr<T[]> buf_;
+  std::uint32_t mask_ = 0;
+  std::uint32_t head_ = 0;
+  int cap_ = 0;
+  int size_ = 0;
+};
+
+} // namespace hxsp

@@ -9,10 +9,6 @@ std::uint64_t splitmix64(std::uint64_t& state) {
   return z ^ (z >> 31);
 }
 
-namespace {
-inline std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
-} // namespace
-
 Rng::Rng(std::uint64_t seed) {
   std::uint64_t sm = seed;
   for (auto& s : s_) s = splitmix64(sm);
@@ -21,49 +17,10 @@ Rng::Rng(std::uint64_t seed) {
   if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
 }
 
-std::uint64_t Rng::next_u64() {
-  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
-  const std::uint64_t t = s_[1] << 17;
-  s_[2] ^= s_[0];
-  s_[3] ^= s_[1];
-  s_[1] ^= s_[2];
-  s_[0] ^= s_[3];
-  s_[2] ^= t;
-  s_[3] = rotl(s_[3], 45);
-  return result;
-}
-
-std::uint64_t Rng::next_below(std::uint64_t bound) {
-  HXSP_CHECK(bound > 0);
-  // Lemire's nearly-divisionless unbiased bounded sampling.
-  std::uint64_t x = next_u64();
-  unsigned __int128 m = static_cast<unsigned __int128>(x) * bound;
-  auto lo = static_cast<std::uint64_t>(m);
-  if (lo < bound) {
-    const std::uint64_t threshold = (0 - bound) % bound;
-    while (lo < threshold) {
-      x = next_u64();
-      m = static_cast<unsigned __int128>(x) * bound;
-      lo = static_cast<std::uint64_t>(m);
-    }
-  }
-  return static_cast<std::uint64_t>(m >> 64);
-}
-
 std::int64_t Rng::next_range(std::int64_t lo, std::int64_t hi) {
   HXSP_CHECK(lo <= hi);
   return lo + static_cast<std::int64_t>(
                   next_below(static_cast<std::uint64_t>(hi - lo) + 1));
-}
-
-double Rng::next_double() {
-  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
-}
-
-bool Rng::next_bool(double p) {
-  if (p <= 0.0) return false;
-  if (p >= 1.0) return true;
-  return next_double() < p;
 }
 
 std::vector<std::int32_t> Rng::permutation(std::int32_t n) {
@@ -76,7 +33,8 @@ std::vector<std::int32_t> Rng::permutation(std::int32_t n) {
 Rng Rng::fork(std::uint64_t tag) const {
   // Mix the full parent state with the tag; distinct tags yield
   // statistically independent child streams.
-  std::uint64_t seed = s_[0] ^ rotl(s_[1], 13) ^ rotl(s_[2], 29) ^ rotl(s_[3], 43);
+  std::uint64_t seed =
+      s_[0] ^ rotl(s_[1], 13) ^ rotl(s_[2], 29) ^ rotl(s_[3], 43);
   seed ^= 0xD1B54A32D192ED03ULL * (tag + 1);
   return Rng(seed);
 }

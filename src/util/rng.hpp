@@ -18,27 +18,60 @@ namespace hxsp {
 /// SplitMix64 step; used for seeding and as a cheap stateless mixer.
 std::uint64_t splitmix64(std::uint64_t& state);
 
-/// xoshiro256** engine with convenience sampling helpers.
+/// xoshiro256** engine with convenience sampling helpers. The sampling
+/// hot path (next_u64 and the helpers over it) is inline: the engine
+/// draws once per loaded server per cycle plus once per allocator
+/// tie-break, so call overhead here is per-cycle overhead.
 class Rng {
  public:
   /// Constructs a generator whose full 256-bit state derives from \p seed.
   explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
 
   /// Next raw 64-bit output.
-  std::uint64_t next_u64();
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
 
   /// Uniform integer in [0, bound). \p bound must be positive.
   /// Uses Lemire's multiply-shift rejection method (unbiased).
-  std::uint64_t next_below(std::uint64_t bound);
+  std::uint64_t next_below(std::uint64_t bound) {
+    HXSP_DCHECK(bound > 0);
+    std::uint64_t x = next_u64();
+    unsigned __int128 m = static_cast<unsigned __int128>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        x = next_u64();
+        m = static_cast<unsigned __int128>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
 
   /// Uniform integer in [lo, hi] inclusive.
   std::int64_t next_range(std::int64_t lo, std::int64_t hi);
 
   /// Uniform double in [0, 1).
-  double next_double();
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
 
   /// Bernoulli trial with probability \p p (clamped to [0,1]).
-  bool next_bool(double p);
+  bool next_bool(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return next_double() < p;
+  }
 
   /// Fisher-Yates shuffle of \p v.
   template <typename T>
@@ -57,6 +90,10 @@ class Rng {
   Rng fork(std::uint64_t tag) const;
 
  private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
   std::uint64_t s_[4];
 };
 

@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -19,7 +21,11 @@ namespace hxsp {
 namespace {
 
 std::string temp_path(const std::string& name) {
-  return testing::TempDir() + "/hxsp_ckpt_" + name;
+  // Pid-qualified: ctest -j runs each test case as its own process from
+  // the same binary, and shared scratch paths (notably ref.csv) would be
+  // rewritten by one test while another reads them.
+  static const std::string pid = std::to_string(::getpid());
+  return testing::TempDir() + "/hxsp_ckpt_" + pid + "_" + name;
 }
 
 std::string slurp(const std::string& path) {

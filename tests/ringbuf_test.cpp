@@ -1,0 +1,129 @@
+/// \file ringbuf_test.cpp
+/// RingBuf (util/ringbuf.hpp): FIFO semantics, wrap-around, capacity
+/// rounding, move-only element support and indexed sweeps — the contract
+/// behind every packet queue in the engine.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "util/ringbuf.hpp"
+
+namespace hxsp {
+namespace {
+
+TEST(RingBuf, FifoOrder) {
+  RingBuf<int> rb;
+  rb.reset_capacity(8);
+  EXPECT_TRUE(rb.empty());
+  EXPECT_EQ(rb.capacity(), 8);
+  for (int i = 0; i < 8; ++i) rb.push_back(i);
+  EXPECT_EQ(rb.size(), 8);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(rb.pop_front(), i);
+  EXPECT_TRUE(rb.empty());
+}
+
+TEST(RingBuf, WrapAroundKeepsOrder) {
+  RingBuf<int> rb;
+  rb.reset_capacity(4);
+  int next_in = 0, next_out = 0;
+  // Push/pop churn far beyond one lap of the storage.
+  for (int round = 0; round < 100; ++round) {
+    while (rb.size() < rb.capacity()) rb.push_back(next_in++);
+    const int drain = 1 + round % 4;
+    for (int i = 0; i < drain && !rb.empty(); ++i)
+      EXPECT_EQ(rb.pop_front(), next_out++);
+  }
+  while (!rb.empty()) EXPECT_EQ(rb.pop_front(), next_out++);
+  EXPECT_EQ(next_in, next_out);
+}
+
+TEST(RingBuf, NonPowerOfTwoCapacity) {
+  RingBuf<int> rb;
+  rb.reset_capacity(5); // storage rounds to 8, logical capacity stays 5
+  EXPECT_EQ(rb.capacity(), 5);
+  for (int i = 0; i < 5; ++i) rb.push_back(i);
+  EXPECT_EQ(rb.size(), 5);
+  EXPECT_EQ(rb.pop_front(), 0);
+  rb.push_back(5);
+  for (int i = 1; i <= 5; ++i) EXPECT_EQ(rb.pop_front(), i);
+}
+
+TEST(RingBuf, FrontAndIndexing) {
+  RingBuf<std::string> rb;
+  rb.reset_capacity(4);
+  rb.push_back("a");
+  rb.push_back("b");
+  rb.push_back("c");
+  EXPECT_EQ(rb.front(), "a");
+  EXPECT_EQ(rb[0], "a");
+  EXPECT_EQ(rb[1], "b");
+  EXPECT_EQ(rb[2], "c");
+  (void)rb.pop_front();
+  rb.push_back("d");
+  rb.push_back("e"); // wrapped by now
+  EXPECT_EQ(rb[0], "b");
+  EXPECT_EQ(rb[3], "e");
+  // Indexed mutation is visible through pop (the on_tables_rebuilt sweep).
+  rb[1] = "C";
+  (void)rb.pop_front();
+  EXPECT_EQ(rb.front(), "C");
+}
+
+TEST(RingBuf, MoveOnlyElements) {
+  RingBuf<std::unique_ptr<int>> rb;
+  rb.reset_capacity(3);
+  rb.push_back(std::make_unique<int>(1));
+  rb.push_back(std::make_unique<int>(2));
+  std::unique_ptr<int> p = rb.pop_front();
+  EXPECT_EQ(*p, 1);
+  EXPECT_EQ(*rb.front(), 2);
+  // The whole buffer is movable (InputVc lives in growing vectors).
+  RingBuf<std::unique_ptr<int>> other = std::move(rb);
+  EXPECT_EQ(other.size(), 1);
+  EXPECT_EQ(*other.pop_front(), 2);
+}
+
+TEST(RingBuf, ClearDestroysElements) {
+  int alive = 0;
+  struct Probe {
+    int* alive = nullptr;
+    Probe() = default;
+    explicit Probe(int* a) : alive(a) { ++*a; }
+    Probe(Probe&& o) noexcept : alive(o.alive) { o.alive = nullptr; }
+    Probe& operator=(Probe&& o) noexcept {
+      if (alive) --*alive;
+      alive = o.alive;
+      o.alive = nullptr;
+      return *this;
+    }
+    ~Probe() {
+      if (alive) --*alive;
+    }
+  };
+  RingBuf<Probe> rb;
+  rb.reset_capacity(4);
+  rb.push_back(Probe(&alive));
+  rb.push_back(Probe(&alive));
+  rb.push_back(Probe(&alive));
+  EXPECT_EQ(alive, 3);
+  rb.clear();
+  EXPECT_EQ(alive, 0);
+  EXPECT_TRUE(rb.empty());
+}
+
+TEST(RingBuf, ResetCapacityReallocates) {
+  RingBuf<int> rb;
+  rb.reset_capacity(2);
+  rb.push_back(1);
+  (void)rb.pop_front();
+  rb.reset_capacity(16); // legal while empty
+  EXPECT_EQ(rb.capacity(), 16);
+  for (int i = 0; i < 16; ++i) rb.push_back(i);
+  EXPECT_EQ(rb.size(), 16);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(rb.pop_front(), i);
+}
+
+} // namespace
+} // namespace hxsp

@@ -220,6 +220,40 @@ TEST(TaskSpecs, RateTasksMatchRunExactly) {
                      "run vs run_tasks");
 }
 
+TEST(TaskSpecs, NearSaturationMatchesSerialBitIdentically) {
+  // Near/at saturation every engine structure is under pressure: ring
+  // buffers run full, the packet pool recycles at the maximum rate, heads
+  // park and wake constantly, and the escape subnetwork carries forced
+  // hops. A faulted spec on both SurePath mechanisms at loads up to 1.0
+  // must still be bit-identical to the serial loop at any worker count —
+  // the regression tripwire for the pooled/ring/active-set engine.
+  for (const std::string& mech : {std::string("polsp"), std::string("omnisp")}) {
+    ExperimentSpec spec = small_spec(mech);
+    HyperX scratch(spec.sides, spec.servers_per_switch);
+    Rng frng(spec.seed + 23);
+    spec.fault_links = random_fault_links(scratch.graph(), 3, frng, true);
+
+    std::vector<TaskSpec> tasks;
+    for (double l : {0.85, 0.95, 1.0}) tasks.push_back(TaskSpec::rate(spec, l));
+
+    std::vector<ResultRow> serial;
+    for (const TaskSpec& t : tasks)
+      serial.push_back(std::get<ResultRow>(run_task(t)));
+    // Saturated queues mean real backpressure reached the servers.
+    EXPECT_LT(serial.back().accepted, serial.back().offered);
+
+    for (int workers : {1, 2, 8}) {
+      ParallelSweep sweep(workers);
+      const auto par = sweep.run_tasks(tasks);
+      ASSERT_EQ(par.size(), serial.size());
+      const std::string what =
+          mech + " near-saturation, workers=" + std::to_string(workers);
+      for (std::size_t i = 0; i < serial.size(); ++i)
+        expect_identical(serial[i], std::get<ResultRow>(par[i]), what.c_str());
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Ordering and repeatability for mixed-kind grids.
 // ---------------------------------------------------------------------------

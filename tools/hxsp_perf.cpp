@@ -1,0 +1,293 @@
+/// \file hxsp_perf.cpp
+/// Engine performance baseline: steps a small fixed grid of fig06-style
+/// configurations (8x8 HyperX, PolSP, 4 VCs, a prefix of random link
+/// faults) at four offered loads bracketing the figure's operating curve
+/// (0.10 mostly idle, 0.55 below the knee, 0.80 mid-congestion, 0.95
+/// saturated) plus one completion-mode drain, and reports cycles/sec and
+/// packets/sec per config.
+///
+/// Results are persisted to BENCH_engine.json, merged by --label: an
+/// existing file keeps every entry with a different label, so the file
+/// accumulates a perf trajectory across engine PRs ("seed" vs "pr4" vs
+/// ...). Timing uses thread CPU time and the best of --reps
+/// repetitions to shave scheduler noise. Rate reps continue one
+/// steady-state Network (each rep times the next `--cycles` window);
+/// drain reps re-run the identical drain from scratch.
+///
+/// Usage: hxsp_perf [--quick] [--label=NAME] [--out=FILE] [--reps=N]
+///                  [--cycles=N] [--warmup=N] [--seed=N] [--only=CONFIG]
+///                  [--loads=a,b,c]  (override the rate-config loads)
+///
+///   --quick   CI-sized grid (4x4, short windows) — smoke scale, numbers
+///             are not comparable with the default grid.
+
+#include <cstdio>
+#include <ctime>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hpp"
+#include "topology/faults.hpp"
+#include "util/fileio.hpp"
+#include "util/jsonio.hpp"
+#include "util/options.hpp"
+
+using namespace hxsp;
+
+namespace {
+
+/// One measured point of the fixed grid.
+struct PerfConfig {
+  std::string name;
+  ExperimentSpec spec;
+  double load = 0.0;       ///< rate mode offered load (ignored for drain)
+  long drain_packets = 0;  ///< >0: completion-mode drain config
+};
+
+struct PerfResult {
+  std::string name;
+  Cycle cycles = 0;           ///< simulated cycles in the timed region
+  double wall_seconds = 0.0;  ///< best rep
+  double cycles_per_sec = 0.0;
+  double packets_per_sec = 0.0;  ///< consumed packets per wall second
+  std::int64_t consumed = 0;     ///< packets consumed in the timed region
+};
+
+/// CPU time of the calling thread. The stepping loop is single-threaded
+/// and deterministic, so CPU time is the right meter: unlike wall time it
+/// is immune to scheduler steal on shared or single-core hosts (where
+/// wall-clock noise easily exceeds the effects being measured).
+double cpu_now() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  timespec ts;
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) + 1e-9 * static_cast<double>(ts.tv_nsec);
+#else
+  return static_cast<double>(std::clock()) / CLOCKS_PER_SEC;
+#endif
+}
+
+/// fig06-style base spec: square 2-D HyperX, PolSP, uniform traffic,
+/// 4 VCs, with the first \p faults links of the canonical fig06 fault
+/// sequence already failed.
+ExperimentSpec fig06_style_spec(int side, int faults, std::uint64_t seed) {
+  ExperimentSpec s;
+  s.sides = {side, side};
+  s.mechanism = "polsp";
+  s.pattern = "uniform";
+  s.sim.num_vcs = 4;
+  s.seed = seed;
+  HyperX scratch(s.sides, s.resolved_servers_per_switch());
+  Rng frng(s.seed + 1000);
+  const auto seq = random_fault_sequence(scratch.graph(), frng);
+  HXSP_CHECK(faults <= static_cast<int>(seq.size()));
+  s.fault_links.assign(seq.begin(), seq.begin() + faults);
+  return s;
+}
+
+PerfResult measure_rate(const PerfConfig& pc, Cycle warmup, Cycle timed,
+                        int reps) {
+  Experiment e(pc.spec);
+  Network net(e.context(), e.mechanism(), e.traffic(), pc.spec.sim,
+              pc.spec.resolved_servers_per_switch(), pc.spec.seed);
+  net.set_offered_load(pc.load);
+  net.run_cycles(warmup);
+
+  PerfResult r;
+  r.name = pc.name;
+  r.cycles = timed;
+  for (int rep = 0; rep < reps; ++rep) {
+    const std::int64_t c0 = net.metrics().total_consumed_packets();
+    const double t0 = cpu_now();
+    net.run_cycles(timed);
+    const double dt = cpu_now() - t0;
+    const std::int64_t consumed = net.metrics().total_consumed_packets() - c0;
+    if (rep == 0 || dt < r.wall_seconds) {
+      r.wall_seconds = dt;
+      r.consumed = consumed;
+    }
+  }
+  r.cycles_per_sec = static_cast<double>(timed) / r.wall_seconds;
+  r.packets_per_sec = static_cast<double>(r.consumed) / r.wall_seconds;
+  return r;
+}
+
+PerfResult measure_drain(const PerfConfig& pc, Cycle limit, int reps) {
+  PerfResult r;
+  r.name = pc.name;
+  for (int rep = 0; rep < reps; ++rep) {
+    Experiment e(pc.spec);
+    Network net(e.context(), e.mechanism(), e.traffic(), pc.spec.sim,
+                pc.spec.resolved_servers_per_switch(), pc.spec.seed);
+    net.set_completion_load(pc.drain_packets);
+    const double t0 = cpu_now();
+    const bool drained = net.run_until_drained(limit);
+    const double dt = cpu_now() - t0;
+    HXSP_CHECK_MSG(drained, "perf drain config did not complete");
+    if (rep == 0 || dt < r.wall_seconds) {
+      r.wall_seconds = dt;
+      r.cycles = net.now();
+      r.consumed = net.metrics().total_consumed_packets();
+    }
+  }
+  r.cycles_per_sec = static_cast<double>(r.cycles) / r.wall_seconds;
+  r.packets_per_sec = static_cast<double>(r.consumed) / r.wall_seconds;
+  return r;
+}
+
+/// Re-emits a parsed JSON value verbatim (numbers keep their raw tokens).
+void emit_value(JsonWriter& w, const JsonValue& v) {
+  switch (v.kind()) {
+    case JsonValue::Kind::kNull:
+      HXSP_CHECK_MSG(false, "null not expected in BENCH_engine.json");
+      break;
+    case JsonValue::Kind::kBool:
+      w.value(v.as_bool());
+      break;
+    case JsonValue::Kind::kNumber:
+      w.raw_number(v.number_token());
+      break;
+    case JsonValue::Kind::kString:
+      w.value(v.as_string());
+      break;
+    case JsonValue::Kind::kArray:
+      w.begin_array();
+      for (const JsonValue& el : v.array()) emit_value(w, el);
+      w.end_array();
+      break;
+    case JsonValue::Kind::kObject:
+      w.begin_object();
+      for (const auto& kv : v.object()) {
+        w.key(kv.first);
+        emit_value(w, kv.second);
+      }
+      w.end_object();
+      break;
+  }
+}
+
+/// Entries of an existing bench file whose label differs from ours.
+/// Called before any measurement runs, so a malformed file aborts up
+/// front instead of after the whole grid was stepped.
+std::vector<JsonValue> load_other_entries(const std::string& path,
+                                          const std::string& label) {
+  std::vector<JsonValue> kept;
+  std::string text;
+  if (try_read_file(path, &text) && !text.empty()) {
+    const JsonValue old = JsonValue::parse(text);
+    for (const JsonValue& entry : old.at("entries").array())
+      if (entry.at("label").as_string() != label) kept.push_back(entry);
+  }
+  return kept;
+}
+
+void write_bench_json(const std::string& path, const std::string& label,
+                      const std::string& grid_name,
+                      const std::vector<JsonValue>& kept,
+                      const std::vector<PerfResult>& results) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("schema").value("hxsp-engine-bench-v1");
+  w.key("entries").begin_array();
+  for (const JsonValue& entry : kept) emit_value(w, entry);
+  w.begin_object();
+  w.key("label").value(label);
+  w.key("grid").value(grid_name);
+  w.key("configs").begin_array();
+  for (const PerfResult& r : results) {
+    w.begin_object();
+    w.key("name").value(r.name);
+    w.key("cycles").value(static_cast<std::int64_t>(r.cycles));
+    w.key("consumed_packets").value(r.consumed);
+    w.key("wall_seconds").value(r.wall_seconds);
+    w.key("cycles_per_sec").value(r.cycles_per_sec);
+    w.key("packets_per_sec").value(r.packets_per_sec);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  w.end_array();
+  w.end_object();
+  // Atomic replace: a killed run must never leave a torn file behind
+  // (the next run would fail to parse it).
+  const std::string tmp = path + ".tmp";
+  HXSP_CHECK_MSG(write_whole_file(tmp, w.str() + "\n"),
+                 "cannot write bench json");
+  HXSP_CHECK_MSG(std::rename(tmp.c_str(), path.c_str()) == 0,
+                 "cannot move bench json into place");
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  const Options opt(argc, argv);
+  const bool quick = opt.get_bool("quick", false);
+  const std::string label = opt.get(
+      "label", quick ? std::string("quick") : std::string("current"));
+  const std::string out = opt.get("out", "BENCH_engine.json");
+  const int reps = static_cast<int>(opt.get_int("reps", 3));
+  const std::uint64_t seed = static_cast<std::uint64_t>(opt.get_int("seed", 1));
+
+  const std::string only = opt.get("only", "");
+  const int side = quick ? 4 : 8;
+  const int faults = quick ? 4 : 8;
+  const Cycle warmup = opt.get_int("warmup", quick ? 300 : 1000);
+  const Cycle timed = opt.get_int("cycles", quick ? 1000 : 4000);
+  const long drain_packets = quick ? 16 : 48;
+  opt.warn_unknown();
+
+  // Validate/load any existing output before spending time measuring.
+  std::vector<JsonValue> kept;
+  if (out != "none") kept = load_other_entries(out, label);
+
+  const ExperimentSpec base = fig06_style_spec(side, faults, seed);
+  // The fixed rate points bracket the fig06 operating curve (the figure
+  // itself measures saturated throughput at offered 1.0): mostly-idle,
+  // uncongested flow below the knee, the middle of the congestion
+  // transition, and full saturation.
+  const std::vector<double> loads =
+      opt.get_double_list("loads", {0.10, 0.55, 0.80, 0.95});
+  const char* load_names[] = {"fig06_low", "fig06_half", "fig06_mid",
+                              "fig06_sat"};
+  std::vector<PerfConfig> grid;
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    PerfConfig pc;
+    pc.name = i < 4 ? load_names[i] : "fig06_load" + std::to_string(i);
+    pc.spec = base;
+    pc.load = loads[i];
+    grid.push_back(std::move(pc));
+  }
+  {
+    PerfConfig pc;
+    pc.name = "fig06_drain";
+    pc.spec = base;
+    pc.drain_packets = drain_packets;
+    grid.push_back(std::move(pc));
+  }
+
+  const std::string grid_name = quick ? "quick-4x4" : "fig06-8x8";
+  std::printf("hxsp_perf — engine stepping rate, grid %s, label '%s'\n",
+              grid_name.c_str(), label.c_str());
+  std::printf("%-12s %10s %12s %14s %14s\n", "config", "cycles", "wall_s",
+              "cycles/sec", "packets/sec");
+
+  std::vector<PerfResult> results;
+  for (const PerfConfig& pc : grid) {
+    if (!only.empty() && pc.name != only) continue;
+    const PerfResult r =
+        pc.drain_packets > 0
+            ? measure_drain(pc, /*limit=*/2000000, reps)
+            : measure_rate(pc, warmup, timed, reps);
+    std::printf("%-12s %10lld %12.4f %14.0f %14.0f\n", r.name.c_str(),
+                static_cast<long long>(r.cycles), r.wall_seconds,
+                r.cycles_per_sec, r.packets_per_sec);
+    std::fflush(stdout);
+    results.push_back(r);
+  }
+
+  if (out != "none") {
+    write_bench_json(out, label, grid_name, kept, results);
+    std::printf("wrote %s (label '%s')\n", out.c_str(), label.c_str());
+  }
+  return 0;
+}
