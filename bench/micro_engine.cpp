@@ -158,6 +158,30 @@ void BM_PacketHeap(benchmark::State& state) {
 }
 BENCHMARK(BM_PacketHeap)->Arg(1)->Arg(64);
 
+void BM_Workload(benchmark::State& state) {
+  // Workload-mode stepping cost, tracked next to BM_Step: one full
+  // message-level collective per iteration — dependency release cascade,
+  // message-queue injection, per-packet consume attribution. Arg 0 is the
+  // latency-bound ring all-reduce (long dependency chain, few packets in
+  // flight), arg 1 the throughput-bound staged all-to-all.
+  ExperimentSpec s;
+  s.sides = {4, 4};
+  s.servers_per_switch = 1;
+  s.mechanism = "polsp";
+  s.pattern = "uniform";
+  s.sim.num_vcs = 4;
+  Experiment e(s);
+  WorkloadParams p;
+  p.name = state.range(0) == 0 ? "ring_allreduce" : "alltoall";
+  p.msg_packets = 2;
+  for (auto _ : state) {
+    const WorkloadResult r = e.run_workload(p, 2000, 4000000);
+    benchmark::DoNotOptimize(r.completion_time);
+  }
+  state.SetLabel(p.name);
+}
+BENCHMARK(BM_Workload)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
 void BM_SimulationPoint(benchmark::State& state) {
   // Full cost of one reduced-scale load point (what each figure bench pays
   // per table cell).

@@ -8,6 +8,7 @@
 set -u
 
 BUILD_DIR="${1:-build}"
+SCRIPT_DIR="$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)"
 WORK_DIR="$(mktemp -d)"
 trap 'rm -rf "$WORK_DIR"' EXIT
 FAILED=0
@@ -31,6 +32,7 @@ DRIVERS=(
   "ablation_vcs --side=4 --warmup=150 --measure=300"
   "ext_dragonfly_escape"
   "ext_dynamic_faults --side=4 --warmup=500 --measure=2000 --faults=3"
+  "ext_workloads --side=4 --sps=1 --msg-packets=2 --fault-fracs=0,0.05 --bucket=500"
 )
 
 for entry in "${DRIVERS[@]}"; do
@@ -67,6 +69,29 @@ for entry in "${DRIVERS[@]}"; do
   fi
   echo "OK      $driver"
 done
+
+# Trace replay end to end: generate a JSONL trace with make_trace.py,
+# emit a workload-task manifest referencing it, and replay it through
+# hxsp_runner — the whole "record somewhere, replay here" pipeline.
+if command -v python3 > /dev/null; then
+  if python3 "$SCRIPT_DIR/make_trace.py" --servers=16 --phases=3 \
+       --packets=2 --kind=ring --out="$WORK_DIR/trace.jsonl" \
+       2> /dev/null &&
+     "$BUILD_DIR/ext_workloads" --side=4 --sps=1 --workloads=trace \
+       --trace="$WORK_DIR/trace.jsonl" --fault-fracs=0,0.05 --bucket=500 \
+       --emit-tasks="$WORK_DIR/trace_manifest.json" > /dev/null &&
+     "$BUILD_DIR/hxsp_runner" "$WORK_DIR/trace_manifest.json" --jobs=1 \
+       --csv="$WORK_DIR/trace_replay.csv" --quiet > /dev/null &&
+     [[ -s "$WORK_DIR/trace_replay.csv" ]] &&
+     grep -q ",workload," "$WORK_DIR/trace_replay.csv"; then
+    echo "OK      trace replay (make_trace.py -> hxsp_runner)"
+  else
+    echo "FAIL    trace replay (make_trace.py -> hxsp_runner)"
+    FAILED=1
+  fi
+else
+  echo "SKIP    trace replay (no python3)"
+fi
 
 # micro_engine is a Google Benchmark binary (present only when the library
 # is installed); one tiny repetition proves it still runs.

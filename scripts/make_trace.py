@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Generate a JSONL message trace for the hxsp workload subsystem.
+
+Emits one JSON object per line in the schema src/workload/trace.hpp
+documents ({"src","dst","packets","phase"[,"deps"]}), replayable with:
+
+  ext_workloads --workloads=trace --trace=trace.jsonl
+  ext_workloads --workloads=trace --trace=trace.jsonl --emit-tasks | \
+      hxsp_runner - --csv=out.csv
+
+Kinds:
+  ring    phase p: every server i sends to (i+1) mod n (a dependency
+          chain once the replayer wires phase deps)
+  random  phase p: every server sends `--fanout` messages to uniform
+          random other servers
+
+Stdlib-only and deterministic per --seed.
+"""
+
+import argparse
+import json
+import random
+import sys
+
+
+def build_ring(n, phases, packets):
+    msgs = []
+    for p in range(phases):
+        for i in range(n):
+            msgs.append({"src": i, "dst": (i + 1) % n,
+                         "packets": packets, "phase": p})
+    return msgs
+
+
+def build_random(n, phases, packets, fanout, rng):
+    msgs = []
+    for p in range(phases):
+        for i in range(n):
+            for _ in range(fanout):
+                d = rng.randrange(n - 1)
+                if d >= i:
+                    d += 1  # skip self
+                msgs.append({"src": i, "dst": d,
+                             "packets": packets, "phase": p})
+    return msgs
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--servers", type=int, required=True,
+                    help="number of servers the trace addresses")
+    ap.add_argument("--phases", type=int, default=4)
+    ap.add_argument("--packets", type=int, default=4,
+                    help="packets per message")
+    ap.add_argument("--kind", choices=["ring", "random"], default="ring")
+    ap.add_argument("--fanout", type=int, default=2,
+                    help="messages per server per phase (kind=random)")
+    ap.add_argument("--seed", type=int, default=1)
+    ap.add_argument("--out", default="",
+                    help="output file (default: stdout)")
+    args = ap.parse_args()
+    if args.servers < 2:
+        sys.exit("--servers must be at least 2")
+
+    if args.kind == "ring":
+        msgs = build_ring(args.servers, args.phases, args.packets)
+    else:
+        msgs = build_random(args.servers, args.phases, args.packets,
+                            args.fanout, random.Random(args.seed))
+
+    text = "".join(json.dumps(m, separators=(",", ":")) + "\n" for m in msgs)
+    if args.out:
+        with open(args.out, "w") as f:
+            f.write(text)
+        print(f"wrote {args.out}: {len(msgs)} messages, "
+              f"{args.phases} phases", file=sys.stderr)
+    else:
+        sys.stdout.write(text)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,11 +1,20 @@
 #!/usr/bin/env python3
-"""Render throughput curves from ResultSink CSV artefacts.
+"""Render figures from ResultSink CSV artefacts.
 
 Reads the shared 24-column ResultSink schema every bench driver and
 hxsp_runner emit (see README "Persisted results") and renders the paper's
 curve figures: accepted throughput (or any scalar column) against offered
 load (fig04/fig05), fault count (fig06) or any `extra` key, one facet per
 traffic pattern, one line per routing mechanism.
+
+Per-figure presets reproduce the paper's exact panel shapes:
+  --preset fig08 / fig09   grouped bars: accepted (or --y=degradation,
+                           recomputed against the healthy rows) per fault
+                           shape, grouped by mechanism, facet per pattern
+  --preset fig10           completion traces: the persisted consumed-phits
+                           time series as throughput-over-time lines
+  --preset workload        workload completion curves: completion_time
+                           against the fault fraction, facet per workload
 
 Stdlib-only by default; when matplotlib is installed a PNG is written
 (headless via the Agg backend), otherwise an ASCII rendition goes to
@@ -16,6 +25,9 @@ Examples:
   build/fig06_random_faults --csv=fig06.csv
   scripts/plot_results.py fig06.csv --x=faults --out=fig06.png
   scripts/plot_results.py fig04.csv --x=offered --y=avg_latency
+  scripts/plot_results.py fig08.csv --preset=fig08 --y=degradation
+  scripts/plot_results.py fig10.csv --preset=fig10 --out=fig10.png
+  scripts/plot_results.py workloads.csv --preset=workload
 """
 
 import argparse
@@ -118,6 +130,152 @@ def render_ascii(facets, series_order, x_key, y_key, width=48):
     print()
 
 
+def collect_bars(rows, y_key):
+    """fig08/fig09 shape: facets maps pattern -> {shape_label ->
+    {mechanism -> y}}; returns (facets, shape_order, mech_order). With
+    y_key == "degradation" the value is 1 - accepted/healthy, recomputed
+    from each (pattern, mechanism)'s label=="healthy" row."""
+    healthy = {}
+    for row in rows:
+        if row.get("label") == "healthy":
+            try:
+                healthy[(row.get("pattern"), row.get("mechanism"))] = \
+                    float(row.get("accepted", ""))
+            except ValueError:
+                pass
+    facets, shape_order, mech_order = {}, [], []
+    warned = set()
+    for row in rows:
+        label = row.get("label") or "(shape)"
+        if label == "healthy":
+            continue
+        mech = row.get("mechanism") or "(series)"
+        pattern = row.get("pattern") or "(no pattern)"
+        if y_key == "degradation":
+            ref = healthy.get((pattern, mech), 0.0)
+            try:
+                acc = float(row.get("accepted", ""))
+            except ValueError:
+                continue
+            if ref <= 0:
+                # No healthy baseline in this CSV (a lone shard, or a
+                # --where filter dropped it): skip rather than fabricate
+                # a 0.0 degradation that reads as "no impact".
+                if (pattern, mech) not in warned:
+                    warned.add((pattern, mech))
+                    print(f"warning: no healthy reference for ({pattern}, "
+                          f"{mech}); skipping its shape rows",
+                          file=sys.stderr)
+                continue
+            y = 1.0 - acc / ref
+        else:
+            try:
+                y = float(row.get(y_key, ""))
+            except ValueError:
+                continue
+        if label not in shape_order:
+            shape_order.append(label)
+        if mech not in mech_order:
+            mech_order.append(mech)
+        facets.setdefault(pattern, {}).setdefault(label, {})[mech] = y
+    return facets, shape_order, mech_order
+
+
+def render_bars_ascii(facets, shape_order, mech_order, y_key, width=40):
+    all_y = [y for facet in facets.values()
+             for group in facet.values() for y in group.values()]
+    top = max(all_y) if all_y else 1.0
+    for pattern, facet in sorted(facets.items()):
+        print(f"\n== pattern: {pattern}  ({y_key} per shape) ==")
+        for label in shape_order:
+            if label not in facet:
+                continue
+            print(f"  {label}")
+            for mech in mech_order:
+                if mech not in facet[label]:
+                    continue
+                y = facet[label][mech]
+                bar = "#" * max(1, int(width * y / top)) if top > 0 else ""
+                print(f"    {mech:<12} {bar} {y:.4f}")
+    print()
+
+
+def render_bars_png(facets, shape_order, mech_order, y_key, out, title):
+    import matplotlib
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    n = len(facets)
+    fig, axes = plt.subplots(1, n, figsize=(1.2 + 1.1 * len(shape_order) * n,
+                                            3.6), sharey=True, squeeze=False)
+    fig.patch.set_facecolor(SURFACE)
+    color = {m: PALETTE[i % len(PALETTE)] for i, m in enumerate(mech_order)}
+    group_w = 0.8
+    bar_w = group_w / max(1, len(mech_order))
+    for ax, (pattern, facet) in zip(axes[0], sorted(facets.items())):
+        ax.set_facecolor(SURFACE)
+        for mi, mech in enumerate(mech_order):
+            xs, ys = [], []
+            for si, label in enumerate(shape_order):
+                if label in facet and mech in facet[label]:
+                    xs.append(si - group_w / 2 + (mi + 0.5) * bar_w)
+                    ys.append(facet[label][mech])
+            ax.bar(xs, ys, width=bar_w, color=color[mech], label=mech)
+        ax.set_title(pattern, color=TEXT_PRIMARY, fontsize=11)
+        ax.set_xticks(range(len(shape_order)))
+        ax.set_xticklabels(shape_order, color=TEXT_SECONDARY, fontsize=8,
+                           rotation=20, ha="right")
+        ax.grid(True, axis="y", color=GRID, linewidth=0.8)
+        ax.set_axisbelow(True)
+        ax.tick_params(colors=TEXT_SECONDARY, labelsize=8)
+        for spine in ax.spines.values():
+            spine.set_color(GRID)
+    axes[0][0].set_ylabel(y_key, color=TEXT_SECONDARY, fontsize=9)
+    if len(mech_order) >= 2:
+        axes[0][-1].legend(fontsize=8, frameon=False,
+                           labelcolor=TEXT_PRIMARY)
+    if title:
+        fig.suptitle(title, color=TEXT_PRIMARY, fontsize=12)
+    fig.tight_layout()
+    fig.savefig(out, dpi=144, facecolor=SURFACE)
+    print(f"wrote {out}")
+
+
+def collect_traces(rows):
+    """fig10 shape: turns each record's persisted consumed-phits series
+    into a throughput-over-time line (phits/cycle/server per bucket);
+    facet per pattern, one line per mechanism."""
+    facets, series_order = {}, []
+    for row in rows:
+        series = row.get("series", "")
+        try:
+            width = int(row.get("series_width", "0"))
+            servers = int(row.get("num_servers", "0"))
+        except ValueError:
+            continue
+        if not series or width <= 0 or servers <= 0:
+            continue
+        pattern = row.get("pattern") or "(no pattern)"
+        mech = row.get("mechanism") or row.get("label") or "(series)"
+        # Several records may share (pattern, mechanism) — e.g. a workload
+        # sweep with one row per fault fraction. Disambiguate instead of
+        # silently keeping only the last trace.
+        frac = parse_extra(row.get("extra", "")).get("fault_frac")
+        if frac is not None:
+            mech = f"{mech} @{frac}"
+        facet = facets.setdefault(pattern, {})
+        key, n = mech, 2
+        while key in facet:
+            key = f"{mech} #{n}"
+            n += 1
+        if key not in series_order:
+            series_order.append(key)
+        points = [(b * width, int(v) / (width * servers))
+                  for b, v in enumerate(series.split("|"))]
+        facet[key] = points
+    return facets, series_order
+
+
 def render_png(facets, series_order, x_key, y_key, out, title):
     import matplotlib
     matplotlib.use("Agg")
@@ -153,15 +311,30 @@ def render_png(facets, series_order, x_key, y_key, out, title):
     print(f"wrote {out}")
 
 
+PRESETS = {
+    # preset: (default kinds, default x, default y)
+    "fig08": ("rate", None, "accepted"),
+    "fig09": ("rate", None, "accepted"),
+    "fig10": ("completion,workload", None, None),
+    "workload": ("workload", "fault_frac", "completion_time"),
+}
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("csv", nargs="+", help="ResultSink CSV file(s)")
-    ap.add_argument("--x", default="offered",
+    ap.add_argument("--preset", default="", choices=[""] + sorted(PRESETS),
+                    help="per-figure panel preset (fig08/fig09 grouped "
+                         "bars, fig10 completion traces, workload "
+                         "completion curves)")
+    ap.add_argument("--x", default=None,
                     help="x axis: a schema column (offered) or an extra "
                          "key (faults, vcs, scale); default offered")
-    ap.add_argument("--y", default="accepted",
-                    help="y axis: a schema column; default accepted")
-    ap.add_argument("--kind", default="rate,dynamic",
+    ap.add_argument("--y", default=None,
+                    help="y axis: a schema column (default accepted); "
+                         "with --preset=fig08/fig09 also 'degradation' "
+                         "(recomputed against the healthy rows)")
+    ap.add_argument("--kind", default=None,
                     help="record kinds to plot (comma list); default "
                          "rate,dynamic")
     ap.add_argument("--driver", default="",
@@ -175,7 +348,13 @@ def main():
                     help="force the ASCII rendition even with matplotlib")
     args = ap.parse_args()
 
-    kinds = {k for k in args.kind.split(",") if k}
+    preset_kind, preset_x, preset_y = PRESETS.get(args.preset,
+                                                  ("rate,dynamic", None, None))
+    kind = args.kind if args.kind is not None else preset_kind
+    x_key = args.x if args.x is not None else (preset_x or "offered")
+    y_key = args.y if args.y is not None else (preset_y or "accepted")
+
+    kinds = {k for k in kind.split(",") if k}
     rows = load_rows(args.csv, kinds, args.driver)
     for cond in args.where:
         if "=" not in cond:
@@ -184,19 +363,41 @@ def main():
         rows = [r for r in rows
                 if (r.get(key) if key in r else
                     parse_extra(r.get("extra", "")).get(key)) == value]
-    facets, series_order = collect_series(rows, args.x, args.y)
-    if not facets:
-        sys.exit(f"no plottable records (kinds={sorted(kinds)}, "
-                 f"x={args.x}, y={args.y})")
-
     title = args.driver or (rows[0].get("driver", "") if rows else "")
+
+    if args.preset in ("fig08", "fig09"):
+        facets, shape_order, mech_order = collect_bars(rows, y_key)
+        if not facets:
+            sys.exit(f"no plottable shape records (y={y_key})")
+        if not args.ascii:
+            try:
+                render_bars_png(facets, shape_order, mech_order, y_key,
+                                args.out, title)
+                return
+            except ImportError:
+                print("matplotlib not available; ASCII rendition:",
+                      file=sys.stderr)
+        render_bars_ascii(facets, shape_order, mech_order, y_key)
+        return
+
+    if args.preset == "fig10":
+        facets, series_order = collect_traces(rows)
+        if not facets:
+            sys.exit("no records with a consumed-phits series")
+        x_key, y_key = "cycle", "phits/cycle/server"
+    else:
+        facets, series_order = collect_series(rows, x_key, y_key)
+        if not facets:
+            sys.exit(f"no plottable records (kinds={sorted(kinds)}, "
+                     f"x={x_key}, y={y_key})")
+
     if not args.ascii:
         try:
-            render_png(facets, series_order, args.x, args.y, args.out, title)
+            render_png(facets, series_order, x_key, y_key, args.out, title)
             return
         except ImportError:
             print("matplotlib not available; ASCII rendition:", file=sys.stderr)
-    render_ascii(facets, series_order, args.x, args.y)
+    render_ascii(facets, series_order, x_key, y_key)
 
 
 if __name__ == "__main__":

@@ -4,6 +4,7 @@
 
 #include "util/jsonio.hpp"
 #include "util/log.hpp"
+#include "workload/run.hpp"
 
 namespace hxsp {
 
@@ -18,6 +19,7 @@ namespace hxsp {
 bool operator==(const ExperimentSpec& a, const ExperimentSpec& b) {
   return a.sides == b.sides && a.servers_per_switch == b.servers_per_switch &&
          a.mechanism == b.mechanism && a.pattern == b.pattern &&
+         a.traffic_params == b.traffic_params &&
          a.sim == b.sim && a.fault_links == b.fault_links &&
          a.escape_root == b.escape_root &&
          a.escape_strict_phase == b.escape_strict_phase &&
@@ -34,6 +36,10 @@ void spec_write_json(JsonWriter& w, const ExperimentSpec& s) {
   w.key("servers_per_switch").value(s.servers_per_switch);
   w.key("mechanism").value(s.mechanism);
   w.key("pattern").value(s.pattern);
+  w.key("traffic_params").begin_object();
+  w.key("hotspot_fraction").value(s.traffic_params.hotspot_fraction);
+  w.key("hotspot_count").value(s.traffic_params.hotspot_count);
+  w.end_object();
   w.key("sim").begin_object();
   w.key("packet_length").value(s.sim.packet_length);
   w.key("input_buffer_packets").value(s.sim.input_buffer_packets);
@@ -78,6 +84,9 @@ ExperimentSpec spec_from_json(const JsonValue& v) {
   s.servers_per_switch = v.at("servers_per_switch").as_int();
   s.mechanism = v.at("mechanism").as_string();
   s.pattern = v.at("pattern").as_string();
+  const JsonValue& tp = v.at("traffic_params");
+  s.traffic_params.hotspot_fraction = tp.at("hotspot_fraction").as_double();
+  s.traffic_params.hotspot_count = tp.at("hotspot_count").as_int();
   const JsonValue& sim = v.at("sim");
   s.sim.packet_length = sim.at("packet_length").as_int();
   s.sim.input_buffer_packets = sim.at("input_buffer_packets").as_int();
@@ -131,7 +140,8 @@ Experiment::Experiment(const ExperimentSpec& spec)
   }
 
   Rng traffic_rng = rng_.fork(0x7F);
-  traffic_ = make_traffic(spec_.pattern, *hx_, traffic_rng);
+  traffic_ = make_traffic(spec_.pattern, *hx_, traffic_rng,
+                          spec_.traffic_params);
 
   ctx_.graph = &hx_->graph();
   ctx_.hyperx = hx_.get();
@@ -181,6 +191,48 @@ CompletionResult Experiment::run_completion(long packets_per_server,
   net.set_completion_load(packets_per_server);
   res.drained = net.run_until_drained(max_cycles);
   res.completion_time = net.now();
+  return res;
+}
+
+WorkloadResult Experiment::run_workload(const WorkloadParams& params,
+                                        Cycle bucket_width, Cycle max_cycles) {
+  const int sps = hx_->servers_per_switch();
+  Network net(ctx_, *mech_, *traffic_, spec_.sim, sps,
+              rng_.fork(0xE0).next_u64());
+  // The workload's own stream: independent of the network stream so a
+  // randomized workload (shuffle, random) does not perturb allocator
+  // tie-breaks, and forked per call so repeated runs are identical.
+  Rng wl_rng = rng_.fork(0xE1);
+  const std::unique_ptr<Workload> wl = make_workload(params);
+  std::vector<Message> msgs = wl->build(net.num_servers(), wl_rng);
+  validate_workload(msgs, net.num_servers());
+  WorkloadRun run(std::move(msgs));
+
+  WorkloadResult res;
+  res.mechanism = mech_->name();
+  res.workload = wl->name();
+  res.series = TimeSeries(bucket_width);
+  res.num_servers = net.num_servers();
+  res.num_messages = static_cast<long>(run.num_messages());
+  res.total_packets = run.total_packets();
+  net.attach_timeseries(&res.series);
+  run.start(net);
+  res.drained = net.run_until_drained(max_cycles);
+  HXSP_DCHECK(res.drained == run.complete());
+  res.completion_time = net.now();
+  res.phase_cycles = run.phase_done();
+
+  // Message-latency tail: release-to-consumed, over completed messages.
+  std::vector<Cycle> lat = run.completed_latencies();
+  if (!lat.empty()) {
+    std::sort(lat.begin(), lat.end());
+    double sum = 0;
+    for (Cycle l : lat) sum += static_cast<double>(l);
+    res.avg_msg_latency = sum / static_cast<double>(lat.size());
+    res.p50_msg_latency = lat[lat.size() / 2];
+    res.p99_msg_latency =
+        lat[static_cast<std::size_t>(0.99 * static_cast<double>(lat.size() - 1))];
+  }
   return res;
 }
 

@@ -17,6 +17,7 @@
 #include "routing/factory.hpp"
 #include "sim/network.hpp"
 #include "topology/faults.hpp"
+#include "workload/workload.hpp"
 
 namespace hxsp {
 
@@ -29,6 +30,7 @@ struct ExperimentSpec {
   // Configuration under test.
   std::string mechanism = "polsp";  ///< see make_mechanism()
   std::string pattern = "uniform";  ///< see make_traffic()
+  TrafficParams traffic_params;     ///< randomized-pattern knobs (hotspot)
   SimConfig sim;                    ///< Table 2 defaults; sim.num_vcs matters
 
   // Faults (applied before any table is computed).
@@ -111,6 +113,23 @@ struct CompletionResult {
   ServerId num_servers = 0; ///< for normalising the series to a rate
 };
 
+/// Result of a message-level workload run (src/workload/). Latency here
+/// is *message* latency: dependency release to last packet consumed.
+struct WorkloadResult {
+  std::string mechanism;       ///< display name, e.g. "PolSP"
+  std::string workload;        ///< workload name ("alltoall", "trace", ...)
+  bool drained = false;        ///< every message completed by the deadline
+  Cycle completion_time = 0;   ///< cycle the last packet was consumed
+  std::vector<Cycle> phase_cycles; ///< completion cycle per phase (-1: never)
+  long num_messages = 0;
+  long total_packets = 0;
+  double avg_msg_latency = 0;  ///< mean over completed messages
+  Cycle p50_msg_latency = 0;   ///< median message latency
+  Cycle p99_msg_latency = 0;   ///< tail message latency
+  TimeSeries series{1000};     ///< consumed phits per time bucket
+  ServerId num_servers = 0;    ///< for normalising the series to a rate
+};
+
 /// Builds and runs simulations for one spec. The topology/table/escape
 /// construction happens once in the constructor; each run_load() spins up
 /// a fresh Network (fresh buffers/rng) over the shared structures.
@@ -130,6 +149,15 @@ class Experiment {
   /// packets as fast as it can; at most \p max_cycles are simulated.
   CompletionResult run_completion(long packets_per_server, Cycle bucket_width,
                                   Cycle max_cycles);
+
+  /// A message-level workload run: builds the workload selected by
+  /// \p params over this spec's server count (randomized workloads draw
+  /// from a stream forked off the spec seed), releases its dependency
+  /// roots and simulates until every message completed or \p max_cycles
+  /// elapsed. Returns per-phase and total completion cycles plus message
+  /// latency tail percentiles.
+  WorkloadResult run_workload(const WorkloadParams& params, Cycle bucket_width,
+                              Cycle max_cycles);
 
   /// Rate-mode run with online fault injection: each event kills a link at
   /// its cycle, the distance tables and escape subnetwork are rebuilt by

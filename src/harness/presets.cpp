@@ -56,6 +56,10 @@ ExperimentSpec spec_from_options(const Options& opt, int dims) {
       opt.get_bool("strict-escape", !opt.get_bool("memoryless-escape", false));
   s.escape_shortcuts = !opt.get_bool("no-shortcuts", false);
   s.escape_root = static_cast<SwitchId>(opt.get_int("root", 0));
+  s.traffic_params.hotspot_fraction =
+      opt.get_double("hotspot-fraction", s.traffic_params.hotspot_fraction);
+  s.traffic_params.hotspot_count = static_cast<int>(
+      opt.get_int("hotspot-count", s.traffic_params.hotspot_count));
   return s;
 }
 

@@ -12,6 +12,7 @@ const char* task_kind_name(TaskKind kind) {
     case TaskKind::kRate: return "rate";
     case TaskKind::kCompletion: return "completion";
     case TaskKind::kDynamic: return "dynamic";
+    case TaskKind::kWorkload: return "workload";
   }
   return "?";
 }
@@ -20,6 +21,7 @@ TaskKind task_kind_from_name(const std::string& name) {
   if (name == "rate") return TaskKind::kRate;
   if (name == "completion") return TaskKind::kCompletion;
   if (name == "dynamic") return TaskKind::kDynamic;
+  if (name == "workload") return TaskKind::kWorkload;
   HXSP_CHECK_MSG(false, ("unknown task kind: " + name).c_str());
   return TaskKind::kRate;
 }
@@ -53,6 +55,17 @@ TaskSpec TaskSpec::dynamic_faults(ExperimentSpec spec, double offered,
   return t;
 }
 
+TaskSpec TaskSpec::workload(ExperimentSpec spec, WorkloadParams params,
+                            Cycle bucket_width, Cycle max_cycles) {
+  TaskSpec t;
+  t.kind = TaskKind::kWorkload;
+  t.spec = std::move(spec);
+  t.workload_params = std::move(params);
+  t.bucket_width = bucket_width;
+  t.max_cycles = max_cycles;
+  return t;
+}
+
 std::string TaskSpec::driver() const {
   const std::size_t slash = id.find('/');
   return slash == std::string::npos ? std::string() : id.substr(0, slash);
@@ -63,7 +76,8 @@ bool operator==(const TaskSpec& a, const TaskSpec& b) {
          a.offered == b.offered &&
          a.packets_per_server == b.packets_per_server &&
          a.bucket_width == b.bucket_width && a.max_cycles == b.max_cycles &&
-         a.events == b.events && a.label == b.label && a.extra == b.extra;
+         a.events == b.events && a.workload_params == b.workload_params &&
+         a.label == b.label && a.extra == b.extra;
 }
 
 namespace {
@@ -87,6 +101,13 @@ void task_write_json(JsonWriter& w, const TaskSpec& t) {
     w.end_object();
   }
   w.end_array();
+  w.key("workload").begin_object();
+  w.key("name").value(t.workload_params.name);
+  w.key("msg_packets").value(t.workload_params.msg_packets);
+  w.key("rounds").value(t.workload_params.rounds);
+  w.key("fanout").value(t.workload_params.fanout);
+  w.key("trace").value(t.workload_params.trace);
+  w.end_object();
   w.key("spec");
   spec_write_json(w, t.spec);
   w.end_object();
@@ -117,6 +138,12 @@ TaskSpec TaskSpec::from_json(const JsonValue& v) {
     ev.link = static_cast<LinkId>(e.at("link").as_i64());
     t.events.push_back(ev);
   }
+  const JsonValue& wl = v.at("workload");
+  t.workload_params.name = wl.at("name").as_string();
+  t.workload_params.msg_packets = wl.at("msg_packets").as_int();
+  t.workload_params.rounds = wl.at("rounds").as_int();
+  t.workload_params.fanout = wl.at("fanout").as_int();
+  t.workload_params.trace = wl.at("trace").as_string();
   t.spec = spec_from_json(v.at("spec"));
   return t;
 }
@@ -151,7 +178,8 @@ TaskKind task_result_kind(const TaskResult& result) {
   switch (result.index()) {
     case 0: return TaskKind::kRate;
     case 1: return TaskKind::kCompletion;
-    default: return TaskKind::kDynamic;
+    case 2: return TaskKind::kDynamic;
+    default: return TaskKind::kWorkload;
   }
 }
 
@@ -170,6 +198,9 @@ TaskResult run_task(const TaskSpec& task) {
                               task.max_cycles);
     case TaskKind::kDynamic:
       return e.run_load_dynamic(task.offered, task.events);
+    case TaskKind::kWorkload:
+      return e.run_workload(task.workload_params, task.bucket_width,
+                            task.max_cycles);
     case TaskKind::kRate:
       break;
   }

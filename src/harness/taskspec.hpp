@@ -26,10 +26,11 @@
 namespace hxsp {
 
 /// Which Experiment entry point a TaskSpec runs.
-enum class TaskKind { kRate, kCompletion, kDynamic };
+enum class TaskKind { kRate, kCompletion, kDynamic, kWorkload };
 
-/// Stable lowercase name for a kind ("rate" / "completion" / "dynamic");
-/// this is also the string ResultSink persists and the JSON codec emits.
+/// Stable lowercase name for a kind ("rate" / "completion" / "dynamic" /
+/// "workload"); this is also the string ResultSink persists and the JSON
+/// codec emits.
 const char* task_kind_name(TaskKind kind);
 
 /// Inverse of task_kind_name; aborts (HXSP_CHECK) on an unknown name.
@@ -50,9 +51,10 @@ struct TaskSpec {
 
   double offered = 1.0;            ///< rate + dynamic modes
   long packets_per_server = 0;     ///< completion mode
-  Cycle bucket_width = 1000;       ///< completion mode
-  Cycle max_cycles = 0;            ///< completion mode (deadline)
+  Cycle bucket_width = 1000;       ///< completion + workload modes
+  Cycle max_cycles = 0;            ///< completion + workload deadline
   std::vector<FaultEvent> events;  ///< dynamic mode (online failures)
+  WorkloadParams workload_params;  ///< workload mode (generator + shape)
 
   /// Presentation context persisted with the task's ResultRecord. Must be
   /// task-local (derivable from this task alone), never computed from
@@ -70,6 +72,10 @@ struct TaskSpec {
   /// Dynamic-fault task: Experiment::run_load_dynamic(offered, events).
   static TaskSpec dynamic_faults(ExperimentSpec spec, double offered,
                                  std::vector<FaultEvent> events);
+
+  /// Workload task: Experiment::run_workload(params, bucket, deadline).
+  static TaskSpec workload(ExperimentSpec spec, WorkloadParams params,
+                           Cycle bucket_width, Cycle max_cycles);
 
   /// The driver component of \ref id ("" when the id has none).
   std::string driver() const;
@@ -95,7 +101,8 @@ std::vector<TaskSpec> manifest_from_json(const std::string& text);
 std::string make_task_id(const std::string& driver, std::size_t index);
 
 /// Tagged result of a TaskSpec; the alternative matches the task's kind.
-using TaskResult = std::variant<ResultRow, CompletionResult, DynamicResult>;
+using TaskResult =
+    std::variant<ResultRow, CompletionResult, DynamicResult, WorkloadResult>;
 
 /// Kind of the alternative held by \p result.
 TaskKind task_result_kind(const TaskResult& result);

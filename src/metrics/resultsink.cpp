@@ -449,6 +449,31 @@ ResultRecord make_record(const TaskSpec& task, const TaskResult& result) {
     for (std::size_t b = 0; b < d->series.num_buckets(); ++b)
       rec.series.push_back(d->series.bucket(b));
   }
+  if (const WorkloadResult* w = std::get_if<WorkloadResult>(&result)) {
+    rec.mechanism = w->mechanism;
+    rec.pattern = w->workload;  // the workload name identifies the traffic
+    rec.drained = w->drained;
+    rec.completion_time = static_cast<std::int64_t>(w->completion_time);
+    rec.num_servers = static_cast<std::int64_t>(w->num_servers);
+    rec.packets = w->total_packets;
+    rec.avg_latency = w->avg_msg_latency;  // message latency, not packet
+    rec.p99_latency = static_cast<std::int64_t>(w->p99_msg_latency);
+    rec.series_width = static_cast<std::int64_t>(w->series.width());
+    for (std::size_t b = 0; b < w->series.num_buckets(); ++b)
+      rec.series.push_back(w->series.bucket(b));
+    // The shared column set stays fixed (existing CSVs must not change
+    // shape), so the workload-only scalars ride in `extra` as key=value
+    // pairs behind the task's own payload — still a pure function of
+    // (task, result), so shard and in-process rows stay byte-identical.
+    std::string add = "messages=" + std::to_string(w->num_messages) +
+                      ";p50_msg=" + fmt_i64(w->p50_msg_latency) +
+                      ";phase_cycles=";
+    for (std::size_t p = 0; p < w->phase_cycles.size(); ++p) {
+      if (p) add += '|';
+      add += fmt_i64(w->phase_cycles[p]);
+    }
+    rec.extra = rec.extra.empty() ? add : rec.extra + ";" + add;
+  }
   return rec;
 }
 

@@ -39,7 +39,7 @@ namespace hxsp {
 struct ResultRecord {
   std::string driver;        ///< emitting bench driver, e.g. "fig10_completion"
   std::string task_id;       ///< TaskSpec id ("" for non-task records)
-  std::string kind = "rate"; ///< rate | completion | dynamic | graph | info
+  std::string kind = "rate"; ///< rate|completion|dynamic|workload|graph|info
   std::string label;         ///< driver context, e.g. a shape or root name
   std::string mechanism;     ///< display name, e.g. "PolSP" ("" when n/a)
   std::string pattern;       ///< traffic pattern ("" when n/a)

@@ -10,6 +10,27 @@
 
 namespace hxsp {
 
+namespace {
+
+/// Base "routing" that never offers a candidate: under SurePath every
+/// hop becomes a forced escape hop, so the packet rides the Up/Down
+/// subnetwork exclusively. This is the escape-only lower bound the
+/// workload studies compare SurePath against (how much of SurePath's
+/// completion time is the adaptive CRout buying?); it is not part of the
+/// paper's mechanism grid and deliberately absent from mechanism_names().
+class EscapeOnlyAlgorithm final : public RouteAlgorithm {
+ public:
+  std::string name() const override { return "none"; }
+  void ports(const NetworkContext&, const Packet&, SwitchId,
+             std::vector<PortCand>&) const override {}
+  int max_hops(const NetworkContext& ctx) const override {
+    // Escape routes are bounded by one up-and-down traversal of the tree.
+    return 2 * ctx.dist->diameter();
+  }
+};
+
+} // namespace
+
 std::unique_ptr<RoutingMechanism> make_mechanism(const std::string& full_name) {
   // Optional "@policy" suffix on the SurePath names: overrides the CRout
   // VC discipline so policy ablations are expressible as plain spec
@@ -58,6 +79,10 @@ std::unique_ptr<RoutingMechanism> make_mechanism(const std::string& full_name) {
     return std::make_unique<SurePathMechanism>(
         std::make_unique<PolarizedAlgorithm>(), "PolSP",
         has_override ? policy_override : CRoutVcPolicy::Auto);
+  if (name == "escape")
+    return std::make_unique<SurePathMechanism>(
+        std::make_unique<EscapeOnlyAlgorithm>(), "EscapeOnly",
+        CRoutVcPolicy::Free);
   HXSP_CHECK_MSG(false, ("unknown routing mechanism: " + name).c_str());
   return nullptr;
 }

@@ -19,12 +19,16 @@ namespace hxsp {
 ///   polarized — Polarized + ladder
 ///   omnisp    — SurePath over Omnidimensional routes
 ///   polsp     — SurePath over Polarized routes
+///   escape    — SurePath with no base routes: every hop is a forced
+///               escape hop (the escape-only lower bound of the
+///               workload studies; not part of the paper's grid)
 /// The SurePath names accept an "@policy" suffix that overrides the CRout
 /// VC discipline (free | monotone | rung | auto), e.g. "polsp@free"; the
 /// crout-policy ablation sweeps these as ordinary spec mechanisms.
 std::unique_ptr<RoutingMechanism> make_mechanism(const std::string& name);
 
-/// All mechanism names accepted by make_mechanism.
+/// The paper's mechanism names accepted by make_mechanism ("escape" is
+/// deliberately excluded: table04 and the tests sweep this list).
 std::vector<std::string> mechanism_names();
 
 /// The display name the paper uses for a mechanism name ("polsp"->"PolSP").

@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "util/log.hpp"
+#include "workload/run.hpp"
 
 namespace hxsp {
 
@@ -42,6 +43,13 @@ void Network::set_offered_load(double load) {
 void Network::set_completion_load(long packets) {
   for (auto& s : servers_) s.set_completion(packets);
   completion_outstanding_ = packets * static_cast<long>(servers_.size());
+}
+
+void Network::enter_workload_mode(WorkloadRun* run, long outstanding) {
+  HXSP_CHECK(run != nullptr && outstanding >= 0);
+  for (auto& s : servers_) s.set_workload();
+  workload_ = run;
+  completion_outstanding_ = outstanding;
 }
 
 void Network::process_events() {
@@ -83,6 +91,11 @@ void Network::process_events() {
         if (timeseries_) timeseries_->add(now_, cfg_.packet_length);
         on_packet_destroyed();
         note_progress();
+        // Workload mode: attribute the consumption to its message, which
+        // may complete it and release dependent messages (the completion
+        // callback chain feeding the next phase).
+        if (workload_ && ev.msg >= 0)
+          workload_->on_packet_consumed(ev.msg, now_, *this);
         // Return the eject credit to the router's server port.
         const SwitchId sw = dst / servers_per_switch_;
         const Port port = routers_[static_cast<std::size_t>(sw)]
@@ -107,7 +120,8 @@ void Network::deliver(PacketPtr pkt, SwitchId sw, Port port, Vc vc, Cycle head,
 void Network::consume_at(PacketPtr pkt, Cycle when, Vc vc) {
   HXSP_DCHECK(pkt->dst_switch ==
               static_cast<SwitchId>(pkt->dst_server / servers_per_switch_));
-  schedule(when, {Event::Kind::Consume, vc, 0, pkt->dst_server, pkt->created});
+  schedule(when, {Event::Kind::Consume, vc, 0, pkt->dst_server, pkt->created,
+                  pkt->msg});
   // The packet object dies here; the Consume event carries what remains.
 }
 

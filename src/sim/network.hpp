@@ -33,6 +33,8 @@
 
 namespace hxsp {
 
+class WorkloadRun; // workload/run.hpp
+
 /// Inserts \p x into sorted \p v (no duplicates expected). Shared by the
 /// engine's active-set lists: network-level router ids and router-level
 /// waiting ports both need ascending-order iteration to mirror a full
@@ -66,6 +68,7 @@ struct Event {
   Port port = 0;
   std::int32_t a = 0;
   Cycle aux = 0;
+  std::int32_t msg = kInvalid; ///< Consume: workload Message index (-1: none)
 };
 
 /// A complete simulated network bound to one routing mechanism and one
@@ -87,6 +90,16 @@ class Network {
 
   /// Completion mode: every server sends exactly \p packets packets.
   void set_completion_load(long packets);
+
+  /// Workload (message-queue) mode: every server injects only packets of
+  /// Messages released by \p run, which stays attached for the rest of
+  /// the simulation; \p outstanding is the total packet budget (drained
+  /// when generated and consumed, exactly like completion mode). Called
+  /// by WorkloadRun::start.
+  void enter_workload_mode(WorkloadRun* run, long outstanding);
+
+  /// The attached workload run (null in rate/completion modes).
+  WorkloadRun* workload() { return workload_; }
 
   /// Advances the simulation \p n cycles.
   void run_cycles(Cycle n);
@@ -221,6 +234,7 @@ class Network {
   SimMetrics metrics_;
   LinkStats link_stats_;
   TimeSeries* timeseries_ = nullptr;
+  WorkloadRun* workload_ = nullptr;
 
   Cycle now_ = 0;
   Cycle last_progress_ = 0;

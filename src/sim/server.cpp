@@ -1,6 +1,7 @@
 #include "sim/server.hpp"
 
 #include "sim/network.hpp"
+#include "workload/run.hpp"
 
 namespace hxsp {
 
@@ -24,6 +25,14 @@ void Server::set_completion(long packets) {
   inject_prob_ = 0.0;
 }
 
+void Server::set_workload() {
+  remaining_ = kWorkloadMode;
+  inject_prob_ = 0.0;
+  wl_msg_ = kInvalid;
+  wl_left_ = 0;
+  wl_ready_.clear();
+}
+
 void Server::make_packet(Network& net, Cycle now) {
   PacketPtr pkt = net.alloc_packet();
   pkt->id = net.next_packet_id();
@@ -45,6 +54,38 @@ void Server::completion_refill(Network& net, Cycle now) {
   while (remaining_ > 0 && queue_.size() < queue_capacity_) {
     make_packet(net, now);
     --remaining_;
+    net.on_completion_packet_generated();
+  }
+}
+
+void Server::workload_refill(Network& net, Cycle now) {
+  WorkloadRun* wl = net.workload();
+  HXSP_DCHECK(wl != nullptr);
+  while (queue_.size() < queue_capacity_) {
+    if (wl_left_ == 0) {
+      if (wl_ready_.empty()) return;
+      wl_msg_ = wl_ready_.front();
+      wl_ready_.pop_front();
+      wl_left_ = wl->msg_packets(wl_msg_);
+    }
+    // Like make_packet, but the destination comes from the message (no
+    // traffic-pattern RNG draw) and the packet carries its message id so
+    // consumption can be attributed back to it.
+    PacketPtr pkt = net.alloc_packet();
+    pkt->id = net.next_packet_id();
+    pkt->src_server = id_;
+    pkt->dst_server = wl->msg_dst(wl_msg_);
+    pkt->src_switch = switch_;
+    pkt->dst_switch = static_cast<SwitchId>(pkt->dst_server /
+                                            net.servers_per_switch());
+    pkt->length = net.cfg().packet_length;
+    pkt->created = now;
+    pkt->msg = wl_msg_;
+    net.mechanism().on_inject(net.ctx(), *pkt, net.rng());
+    net.metrics().on_generated(id_, now);
+    net.on_packet_created();
+    queue_.push_back(std::move(pkt));
+    --wl_left_;
     net.on_completion_packet_generated();
   }
 }

@@ -9,8 +9,13 @@
 /// per-server *generated* load diverge under adversarial patterns, which
 /// the paper's Jain index measures. A completion mode instead preloads a
 /// fixed number of packets per server and injects them as fast as the
-/// queue drains (paper Fig 10).
+/// queue drains (paper Fig 10). A third, message-queue mode serves the
+/// workload subsystem (src/workload/): the server holds a FIFO of
+/// released Messages and injects the current head's packets as the queue
+/// drains; messages enter the FIFO only through WorkloadRun's dependency
+/// release, and the mode draws nothing from the shared RNG stream.
 
+#include <deque>
 #include <vector>
 
 #include "sim/config.hpp"
@@ -36,6 +41,12 @@ class Server {
   void generation_phase(Network& net, Cycle now, Rng& rng) {
     if (remaining_ >= 0) {
       completion_refill(net, now);
+      return;
+    }
+    if (remaining_ == kWorkloadMode) {
+      // Message-queue mode: refill only when a message is in progress or
+      // released work is waiting, so idle servers stay O(1) per cycle.
+      if (wl_left_ != 0 || !wl_ready_.empty()) workload_refill(net, now);
       return;
     }
     if (inject_prob_ <= 0.0 || !rng.next_bool(inject_prob_)) return;
@@ -64,6 +75,15 @@ class Server {
   /// Switches to completion mode with \p packets to send in total.
   void set_completion(long packets);
 
+  /// Switches to workload (message-queue) mode: packets come only from
+  /// released Messages (see workload/run.hpp), never from the Bernoulli
+  /// process — the shared RNG stream is untouched by this server.
+  void set_workload();
+
+  /// WorkloadRun released message \p m (this server is its source); it
+  /// joins the injection FIFO behind earlier releases.
+  void workload_push(std::int32_t m) { wl_ready_.push_back(m); }
+
   /// Packets still waiting in the injection queue.
   int queued() const { return queue_.size(); }
 
@@ -75,15 +95,24 @@ class Server {
   int local_index() const { return local_; }
 
  private:
+  /// remaining_ sentinel selecting the workload message-queue mode
+  /// (>= 0 is completion mode, -1 rate mode).
+  static constexpr long kWorkloadMode = -2;
+
   void make_packet(Network& net, Cycle now);
 
   /// Completion-mode branch of generation_phase (out of line: runs a
   /// refill loop and touches Network bookkeeping).
   void completion_refill(Network& net, Cycle now);
 
+  /// Workload-mode branch of generation_phase: injects packets of the
+  /// current head message while the queue has room, advancing through
+  /// the released-message FIFO.
+  void workload_refill(Network& net, Cycle now);
+
   // Hot fields first: the per-cycle generation/injection gates read only
   // this leading cache line.
-  long remaining_ = -1;      ///< completion mode budget; -1 = rate mode
+  long remaining_ = -1;      ///< mode selector + completion budget (see above)
   double inject_prob_ = 0.0; ///< packets per cycle (Bernoulli)
   Cycle link_free_at_ = 0;
   int queue_capacity_;
@@ -95,6 +124,11 @@ class Server {
   // Scratch for injection_phase(); instance-scoped (not static/thread_local)
   // so concurrent Networks on a sweep pool never share it.
   std::vector<Vc> legal_scratch_;
+  // Workload mode: current message + packets of it still to generate,
+  // and the FIFO of released-but-not-started messages.
+  std::int32_t wl_msg_ = kInvalid;
+  int wl_left_ = 0;
+  std::deque<std::int32_t> wl_ready_;
 };
 
 } // namespace hxsp

@@ -3,6 +3,7 @@
 /// few classic extras used by the extension benches.
 
 #include <algorithm>
+#include <cstdio>
 
 #include "traffic/pattern.hpp"
 
@@ -200,29 +201,61 @@ class Shift final : public TrafficPattern {
   ServerId n_;
 };
 
-/// Hotspot: 10% of messages target one fixed server, rest uniform.
+/// Hotspot: a fraction of messages target a small fixed set of hot
+/// servers (spread evenly over the id space), the rest go uniform.
 /// NOT admissible — used by extension benches to study congestion trees.
+/// Fraction and spot count come from TrafficParams; the defaults (10%,
+/// one spot at num_servers/2) reproduce the original hard-coded pattern
+/// draw for draw.
 class Hotspot final : public TrafficPattern {
  public:
-  Hotspot(ServerId n, ServerId spot) : n_(n), spot_(spot) {}
+  Hotspot(ServerId n, const TrafficParams& params)
+      : n_(n), frac_(params.hotspot_fraction) {
+    HXSP_CHECK_MSG(params.hotspot_count >= 1 && params.hotspot_count < n,
+                   "hotspot_count must be in [1, num_servers)");
+    HXSP_CHECK_MSG(frac_ >= 0.0 && frac_ <= 1.0,
+                   "hotspot_fraction must be in [0, 1]");
+    for (int k = 0; k < params.hotspot_count; ++k)
+      spots_.push_back(static_cast<ServerId>(
+          static_cast<std::int64_t>(k + 1) * n / (params.hotspot_count + 1)));
+  }
   ServerId destination(ServerId src, Rng& rng) const override {
-    if (src != spot_ && rng.next_bool(0.1)) return spot_;
+    if (spots_.size() == 1) {
+      // Single-spot fast path: identical RNG draw order to the original
+      // hard-coded pattern (the hot server itself skips the Bernoulli).
+      if (src != spots_[0] && rng.next_bool(frac_)) return spots_[0];
+    } else if (rng.next_bool(frac_)) {
+      const ServerId s = spots_[static_cast<std::size_t>(
+          rng.next_below(spots_.size()))];
+      if (s != src) return s;
+      // A hot server aiming at itself falls through to uniform.
+    }
     ServerId d = static_cast<ServerId>(rng.next_below(static_cast<std::uint64_t>(n_ - 1)));
     return d >= src ? d + 1 : d;
   }
   std::string name() const override { return "hotspot"; }
-  std::string display_name() const override { return "Hotspot (10%)"; }
+  std::string display_name() const override {
+    char buf[64];
+    if (spots_.size() == 1)
+      std::snprintf(buf, sizeof buf, "Hotspot (%g%%)", frac_ * 100);
+    else
+      std::snprintf(buf, sizeof buf, "Hotspot (%g%%, %zu spots)", frac_ * 100,
+                    spots_.size());
+    return buf;
+  }
   bool is_permutation() const override { return false; }
 
  private:
   ServerId n_;
-  ServerId spot_;
+  double frac_;
+  std::vector<ServerId> spots_;
 };
 
 } // namespace
 
 std::unique_ptr<TrafficPattern> make_traffic(const std::string& name,
-                                             const HyperX& hx, Rng& rng) {
+                                             const HyperX& hx, Rng& rng,
+                                             const TrafficParams& params) {
   if (name == "uniform") return std::make_unique<Uniform>(hx.num_servers());
   if (name == "rsp")
     return std::make_unique<RandomServerPermutation>(hx.num_servers(), rng);
@@ -235,7 +268,7 @@ std::unique_ptr<TrafficPattern> make_traffic(const std::string& name,
   if (name == "complement") return std::make_unique<Complement>(hx);
   if (name == "shift") return std::make_unique<Shift>(hx.num_servers());
   if (name == "hotspot")
-    return std::make_unique<Hotspot>(hx.num_servers(), hx.num_servers() / 2);
+    return std::make_unique<Hotspot>(hx.num_servers(), params);
   HXSP_CHECK_MSG(false, ("unknown traffic pattern: " + name).c_str());
   return nullptr;
 }

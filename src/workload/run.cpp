@@ -1,0 +1,65 @@
+#include "workload/run.hpp"
+
+#include "sim/network.hpp"
+
+namespace hxsp {
+
+WorkloadRun::WorkloadRun(std::vector<Message> msgs) : msgs_(std::move(msgs)) {
+  const std::size_t n = msgs_.size();
+  pending_deps_.assign(n, 0);
+  dependents_.assign(n, {});
+  remaining_.assign(n, 0);
+  released_.assign(n, -1);
+  phase_done_.assign(static_cast<std::size_t>(workload_num_phases(msgs_)), -1);
+  phase_outstanding_.assign(phase_done_.size(), 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Message& m = msgs_[i];
+    remaining_[i] = m.packets;
+    total_packets_ += m.packets;
+    ++phase_outstanding_[static_cast<std::size_t>(m.phase)];
+    pending_deps_[i] = static_cast<std::int32_t>(m.deps.size());
+    for (std::int32_t d : m.deps)
+      dependents_[static_cast<std::size_t>(d)].push_back(
+          static_cast<std::int32_t>(i));
+  }
+  latencies_.reserve(n);
+}
+
+void WorkloadRun::release(std::int32_t m, Cycle now, Network& net) {
+  HXSP_DCHECK(released_[static_cast<std::size_t>(m)] < 0);
+  released_[static_cast<std::size_t>(m)] = now;
+  net.server(msgs_[static_cast<std::size_t>(m)].src).workload_push(m);
+}
+
+void WorkloadRun::start(Network& net) {
+  HXSP_CHECK_MSG(!started_, "WorkloadRun::start called twice");
+  started_ = true;
+  net.enter_workload_mode(this, total_packets_);
+  // A phase with no messages (a numbering gap in a trace) is vacuously
+  // complete at the start cycle — it must not read as "never finished"
+  // (-1) in the results of a fully drained run.
+  for (std::size_t p = 0; p < phase_outstanding_.size(); ++p)
+    if (phase_outstanding_[p] == 0) phase_done_[p] = net.now();
+  // Roots released in message order: the deterministic seed of the whole
+  // release cascade.
+  for (std::size_t i = 0; i < msgs_.size(); ++i)
+    if (pending_deps_[i] == 0)
+      release(static_cast<std::int32_t>(i), net.now(), net);
+}
+
+void WorkloadRun::on_packet_consumed(std::int32_t m, Cycle now, Network& net) {
+  const std::size_t mi = static_cast<std::size_t>(m);
+  HXSP_DCHECK(remaining_[mi] > 0);
+  if (--remaining_[mi] > 0) return;
+
+  // Message complete.
+  ++completed_count_;
+  latencies_.push_back(now - released_[mi]);
+  const std::size_t phase = static_cast<std::size_t>(msgs_[mi].phase);
+  if (--phase_outstanding_[phase] == 0) phase_done_[phase] = now;
+  for (std::int32_t d : dependents_[mi])
+    if (--pending_deps_[static_cast<std::size_t>(d)] == 0)
+      release(d, now, net);
+}
+
+} // namespace hxsp

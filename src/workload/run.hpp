@@ -1,0 +1,85 @@
+#pragma once
+/// \file run.hpp
+/// WorkloadRun — the engine-side message state machine.
+///
+/// Binds one built Message list to one Network for one simulation:
+/// tracks per-message dependency counts and remaining packets, releases
+/// a message into its source server's ready queue the moment its last
+/// dependency completes (a completion callback chain riding the
+/// engine's Consume events), and records the completion cycle of every
+/// message and phase. Servers in workload mode (Server::set_workload)
+/// pull eligible messages FIFO and inject their packets as fast as the
+/// injection queue drains; every consumed packet is attributed back to
+/// its message through the `msg` id it carries.
+///
+/// All hooks run on the simulation thread at deterministic points
+/// (event processing, generation phase), so a workload run is exactly
+/// as reproducible as the rate/completion modes it sits beside.
+
+#include <vector>
+
+#include "util/types.hpp"
+#include "workload/workload.hpp"
+
+namespace hxsp {
+
+class Network;
+
+class WorkloadRun {
+ public:
+  /// \p msgs must be validated (validate_workload) against the network
+  /// it will be started on.
+  explicit WorkloadRun(std::vector<Message> msgs);
+
+  /// Puts every server of \p net into workload mode, attaches this run
+  /// to the network, and releases all dependency-free messages (in
+  /// message order) at the network's current cycle. Call once.
+  void start(Network& net);
+
+  // --- engine hooks --------------------------------------------------------
+
+  /// Destination server / packet count of message \p m (Server refill).
+  ServerId msg_dst(std::int32_t m) const {
+    return msgs_[static_cast<std::size_t>(m)].dst;
+  }
+  int msg_packets(std::int32_t m) const {
+    return msgs_[static_cast<std::size_t>(m)].packets;
+  }
+
+  /// One packet of message \p m was consumed at its destination at cycle
+  /// \p now. Completes the message when it was the last packet, which may
+  /// complete its phase and release dependent messages into their source
+  /// servers' ready queues.
+  void on_packet_consumed(std::int32_t m, Cycle now, Network& net);
+
+  // --- results -------------------------------------------------------------
+
+  std::size_t num_messages() const { return msgs_.size(); }
+  long total_packets() const { return total_packets_; }
+  int num_phases() const { return static_cast<int>(phase_done_.size()); }
+  bool complete() const { return completed_count_ == msgs_.size(); }
+
+  /// Cycle the last message of each phase completed (-1: not finished).
+  const std::vector<Cycle>& phase_done() const { return phase_done_; }
+
+  /// Latencies (release -> last packet consumed) of the messages that
+  /// completed, in completion order.
+  const std::vector<Cycle>& completed_latencies() const { return latencies_; }
+
+ private:
+  void release(std::int32_t m, Cycle now, Network& net);
+
+  std::vector<Message> msgs_;
+  std::vector<std::int32_t> pending_deps_;          ///< unmet deps per message
+  std::vector<std::vector<std::int32_t>> dependents_;
+  std::vector<std::int32_t> remaining_;             ///< packets to consume
+  std::vector<Cycle> released_;                     ///< -1 until released
+  std::vector<std::int32_t> phase_outstanding_;
+  std::vector<Cycle> phase_done_;
+  std::vector<Cycle> latencies_;
+  std::size_t completed_count_ = 0;
+  long total_packets_ = 0;
+  bool started_ = false;
+};
+
+} // namespace hxsp

@@ -1,0 +1,68 @@
+#include "workload/trace.hpp"
+
+#include "util/check.hpp"
+#include "util/fileio.hpp"
+#include "util/jsonio.hpp"
+
+namespace hxsp {
+
+std::string trace_to_jsonl(const std::vector<Message>& msgs) {
+  std::string out;
+  for (const Message& m : msgs) {
+    JsonWriter w;
+    w.begin_object();
+    w.key("src").value(static_cast<std::int64_t>(m.src));
+    w.key("dst").value(static_cast<std::int64_t>(m.dst));
+    w.key("packets").value(m.packets);
+    w.key("phase").value(m.phase);
+    if (!m.deps.empty()) {
+      w.key("deps").begin_array();
+      for (std::int32_t d : m.deps) w.value(static_cast<std::int64_t>(d));
+      w.end_array();
+    }
+    w.end_object();
+    out += w.str();
+    out += '\n';
+  }
+  return out;
+}
+
+std::vector<Message> trace_from_jsonl(const std::string& text) {
+  std::vector<Message> msgs;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    const std::string line = text.substr(start, end - start);
+    start = end + 1;
+    // Skip blank lines (trailing newline, hand-edited gaps).
+    bool blank = true;
+    for (char c : line)
+      if (c != ' ' && c != '\t' && c != '\r') blank = false;
+    if (blank) continue;
+
+    const JsonValue v = JsonValue::parse(line);
+    HXSP_CHECK_MSG(v.is_object(), "trace line is not a JSON object");
+    Message m;
+    m.src = static_cast<ServerId>(v.at("src").as_i64());
+    m.dst = static_cast<ServerId>(v.at("dst").as_i64());
+    m.packets = v.at("packets").as_int();
+    m.phase = v.at("phase").as_int();
+    if (const JsonValue* deps = v.find("deps"))
+      for (const JsonValue& d : deps->array())
+        m.deps.push_back(static_cast<std::int32_t>(d.as_i64()));
+    msgs.push_back(std::move(m));
+  }
+  return msgs;
+}
+
+std::vector<Message> load_trace_file(const std::string& path) {
+  return trace_from_jsonl(read_file_or_die(path));
+}
+
+bool save_trace_file(const std::string& path,
+                     const std::vector<Message>& msgs) {
+  return write_whole_file(path, trace_to_jsonl(msgs));
+}
+
+} // namespace hxsp

@@ -307,6 +307,11 @@ TEST(TaskSpecs, MixedRepeatedRunsAreIdentical) {
         expect_identical(std::get<DynamicResult>(first[i]),
                          std::get<DynamicResult>(second[i]), "repeat dynamic");
         break;
+      case TaskKind::kWorkload:
+        // mixed_tasks() has no workload task; the workload kind's
+        // repeat/worker-count identity lives in tests/workload_test.cpp.
+        FAIL() << "unexpected workload task in mixed grid";
+        break;
     }
   }
 }

@@ -230,6 +230,58 @@ TEST(Hotspot, ConcentratesOnSpot) {
   EXPECT_NEAR(static_cast<double>(to_spot) / kSamples, 0.1, 0.02);
 }
 
+TEST(Hotspot, ParamsAreConfigurable) {
+  const HyperX hx = HyperX::regular(2, 4, 4);
+  const ServerId n = hx.num_servers();
+  Rng seed(1);
+  TrafficParams params;
+  params.hotspot_fraction = 1.0;  // every draw targets a spot
+  params.hotspot_count = 3;
+  auto p = make_traffic("hotspot", hx, seed, params);
+  // The spots are spread evenly over the id space: (k+1)*n/(count+1).
+  const std::set<ServerId> spots = {n / 4, 2 * n / 4, 3 * n / 4};
+  Rng rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    const ServerId d = p->destination(0, rng);
+    EXPECT_TRUE(spots.count(d)) << d;
+  }
+  // Fraction 0 degenerates to uniform: never a forced spot, never self.
+  params.hotspot_fraction = 0.0;
+  params.hotspot_count = 1;
+  auto u = make_traffic("hotspot", hx, seed, params);
+  for (int i = 0; i < 2000; ++i) {
+    const ServerId d = u->destination(3, rng);
+    EXPECT_NE(d, 3);
+    EXPECT_GE(d, 0);
+    EXPECT_LT(d, n);
+  }
+}
+
+TEST(Hotspot, DefaultParamsMatchLegacyDrawForDraw) {
+  // The default TrafficParams must reproduce the previously hard-coded
+  // hotspot (10% to server n/2) with an identical RNG draw sequence, or
+  // every persisted hotspot artefact would silently change.
+  const HyperX hx = HyperX::regular(2, 4, 4);
+  const ServerId n = hx.num_servers();
+  Rng seed(1);
+  auto p = make_traffic("hotspot", hx, seed);
+  Rng a(99), b(99);
+  for (int i = 0; i < 5000; ++i) {
+    const ServerId src = static_cast<ServerId>(i % n);
+    const ServerId got = p->destination(src, a);
+    // Reference implementation: the original inline logic.
+    ServerId want;
+    if (src != n / 2 && b.next_bool(0.1)) {
+      want = n / 2;
+    } else {
+      ServerId d = static_cast<ServerId>(
+          b.next_below(static_cast<std::uint64_t>(n - 1)));
+      want = d >= src ? d + 1 : d;
+    }
+    ASSERT_EQ(got, want) << "draw " << i;
+  }
+}
+
 TEST(Factory, AllNamesConstruct) {
   const HyperX hx = HyperX::regular(2, 4); // sps = side, needed by dcr2d
   for (const auto& name : traffic_names()) {
