@@ -70,6 +70,26 @@ for entry in "${DRIVERS[@]}"; do
   echo "OK      $driver"
 done
 
+# Invariant auditor smoke (see sim/audit.cpp): re-run the fig06 grid with
+# the audit enabled every 64 cycles — every incremental engine structure
+# is recomputed from scratch and cross-checked, aborting on mismatch —
+# and require the CSV to stay byte-identical to the audit-off run above
+# (the auditor reads everything, mutates nothing).
+if [[ -x "$BUILD_DIR/fig06_random_faults" && -s "$WORK_DIR/fig06_random_faults.csv" ]]; then
+  if "$BUILD_DIR/fig06_random_faults" --side=4 --warmup=200 --measure=400 \
+       --steps=2 --max-faults=4 --audit=64 --jobs=2 \
+       --csv="$WORK_DIR/fig06_audit.csv" > "$WORK_DIR/fig06_audit.out" 2>&1 &&
+     cmp -s "$WORK_DIR/fig06_audit.csv" "$WORK_DIR/fig06_random_faults.csv"; then
+    echo "OK      invariant audit (--audit=64, CSV identical to audit-off)"
+  else
+    echo "FAIL    invariant audit (--audit=64)"
+    tail -5 "$WORK_DIR/fig06_audit.out"
+    FAILED=1
+  fi
+else
+  echo "SKIP    invariant audit (fig06 driver or baseline CSV missing)"
+fi
+
 # Trace replay end to end: generate a JSONL trace with make_trace.py,
 # emit a workload-task manifest referencing it, and replay it through
 # hxsp_runner — the whole "record somewhere, replay here" pipeline.

@@ -50,6 +50,7 @@ void spec_write_json(JsonWriter& w, const ExperimentSpec& s) {
   w.key("num_vcs").value(s.sim.num_vcs);
   w.key("server_queue_packets").value(s.sim.server_queue_packets);
   w.key("watchdog_cycles").value(static_cast<std::int64_t>(s.sim.watchdog_cycles));
+  w.key("audit_interval").value(static_cast<std::int64_t>(s.sim.audit_interval));
   w.end_object();
   w.key("fault_links").begin_array();
   for (LinkId l : s.fault_links) w.value(static_cast<std::int64_t>(l));
@@ -97,6 +98,10 @@ ExperimentSpec spec_from_json(const JsonValue& v) {
   s.sim.num_vcs = sim.at("num_vcs").as_int();
   s.sim.server_queue_packets = sim.at("server_queue_packets").as_int();
   s.sim.watchdog_cycles = sim.at("watchdog_cycles").as_i64();
+  // Tolerant read: manifests written before the auditor existed lack the
+  // key; they mean "audit off", whatever the build default.
+  const JsonValue* audit = sim.find("audit_interval");
+  s.sim.audit_interval = audit ? audit->as_i64() : 0;
   s.fault_links.clear();
   for (const JsonValue& l : v.at("fault_links").array())
     s.fault_links.push_back(static_cast<LinkId>(l.as_i64()));

@@ -60,6 +60,9 @@ ExperimentSpec spec_from_options(const Options& opt, int dims) {
       opt.get_double("hotspot-fraction", s.traffic_params.hotspot_fraction);
   s.traffic_params.hotspot_count = static_cast<int>(
       opt.get_int("hotspot-count", s.traffic_params.hotspot_count));
+  // --audit=K: run the engine invariant auditor every K cycles (0 = off;
+  // HXSP_AUDIT builds default it on). Pure checking — never changes output.
+  s.sim.audit_interval = opt.get_int("audit", s.sim.audit_interval);
   return s;
 }
 

@@ -29,7 +29,8 @@ std::vector<double> default_loads(bool paper);
 /// Applies the common bench CLI options to a spec:
 ///   --paper, --side, --sps, --vcs, --warmup, --measure, --seed,
 ///   --strict-escape, --no-shortcuts, --root,
-///   --hotspot-fraction, --hotspot-count (randomized-pattern knobs).
+///   --hotspot-fraction, --hotspot-count (randomized-pattern knobs),
+///   --audit=K (invariant auditor every K cycles, 0 = off).
 /// \p dims selects the base preset (2 or 3).
 ExperimentSpec spec_from_options(const Options& opt, int dims);
 

@@ -1,0 +1,268 @@
+/// \file audit.cpp
+/// The engine invariant auditor.
+///
+/// The PR 4 hot-path overhaul replaced full per-cycle scans with
+/// incrementally maintained state: per-output-VC qs and per-port score
+/// sums (allocator scoring), feasibility masks, out-head caches, waiting
+/// counts, per-router active input lists, network-level active router
+/// sets, a packet pool, and O(1) drain detection. Each of those is updated
+/// at a handful of mutation sites; a future edit that misses one site
+/// produces no crash — just a silently different (and wrong) simulation
+/// three PRs later. The auditor recomputes every one of those structures
+/// from first principles and aborts on the first mismatch, so drift fails
+/// loudly at the cycle it appears.
+///
+/// Everything here is read-only: enabling the audit (SimConfig::
+/// audit_interval > 0, or an HXSP_AUDIT build) can never change simulation
+/// output, only convert a silent divergence into a loud one. Conservation
+/// ledgers include the event wheel, so the audit holds at any cycle
+/// boundary, not only in a drained network:
+///
+///   credits:  base == held upstream + reserved by queued packets
+///                  + occupied downstream + in flight on the wheel
+///   packets:  pool.live() == buffered in routers + queued in servers,
+///             packets_in_system == pool.live() + pending consumptions
+
+#include <algorithm>
+#include <vector>
+
+#include "sim/network.hpp"
+#include "sim/router.hpp"
+
+namespace hxsp {
+
+void Router::audit_local(const SimConfig& cfg) const {
+  const int len = cfg.packet_length;
+  HXSP_CHECK_MSG(len == len_ && outbuf_cap_ == cfg.output_buffer_phits(),
+                 "audit: router config drifted from construction");
+
+  // --- inputs: occupancy, active list, head gates -------------------------
+  int active_count = 0;
+  for (Port p = 0; p < static_cast<Port>(outputs_.size()); ++p) {
+    for (Vc v = 0; v < num_vcs_; ++v) {
+      const InputVc& iv = inputs_[vc_index(p, v)];
+      const int occ = len * iv.q.size() + (iv.draining ? len : 0);
+      HXSP_CHECK_MSG(iv.occupancy == occ,
+                     "audit: input occupancy drifted from queue contents");
+      HXSP_CHECK_MSG(iv.occupancy <= cfg.input_buffer_phits(),
+                     "audit: input buffer overflow");
+      const bool listed = iv.active_pos >= 0;
+      HXSP_CHECK_MSG(listed == !iv.q.empty(),
+                     "audit: active input list out of sync with queue");
+      if (!listed) continue;
+      ++active_count;
+      HXSP_CHECK_MSG(
+          iv.active_pos < static_cast<int>(active_.size()) &&
+              active_[static_cast<std::size_t>(iv.active_pos)] ==
+                  static_cast<std::int32_t>(vc_index(p, v)),
+          "audit: active input list back-pointer corrupt");
+      // The head gate is a max of known lower bounds; each bound must
+      // still hold (a gate below one would let a head request early —
+      // an RNG draw the full rescan would not make).
+      Cycle bound = iv.q.front()->buf_head;
+      if (iv.draining && iv.drain_until > bound) bound = iv.drain_until;
+      const Cycle xbar = in_xbar_free_[static_cast<std::size_t>(p)];
+      if (xbar > bound) bound = xbar;
+      HXSP_CHECK_MSG(in_gate_[vc_index(p, v)] >= bound,
+                     "audit: head gate below a known lower bound");
+    }
+  }
+  HXSP_CHECK_MSG(static_cast<int>(active_.size()) == active_count,
+                 "audit: active input list size drifted");
+
+  // --- outputs: qs, score sums, masks, head caches, waiting counts --------
+  int waiting_sum = 0;
+  for (Port p = 0; p < static_cast<Port>(outputs_.size()); ++p) {
+    const OutputPort& op = outputs_[static_cast<std::size_t>(p)];
+    int score_sum = 0;
+    int port_waiting = 0;
+    for (Vc v = 0; v < num_vcs_; ++v) {
+      const OutputVc& ov = out_vcs_[vc_index(p, v)];
+      HXSP_CHECK_MSG(ov.occupancy >= 0 &&
+                         ov.occupancy <= cfg.output_buffer_phits(),
+                     "audit: output occupancy out of range");
+      HXSP_CHECK_MSG(ov.credits >= 0 && ov.credits <= ov.base_credits,
+                     "audit: credit counter out of range");
+      const int qs = ov.occupancy + (ov.base_credits - ov.credits);
+      HXSP_CHECK_MSG(out_qs_[vc_index(p, v)] == qs,
+                     "audit: incremental qs drifted from recomputation");
+      HXSP_CHECK_MSG(out_head_[vc_index(p, v)] ==
+                         (ov.q.empty() ? kNeverReady : ov.q.front()->buf_head),
+                     "audit: out-head cache drifted from queue front");
+      const bool feasible =
+          ov.credits >= len_ && ov.occupancy + len_ <= outbuf_cap_;
+      HXSP_CHECK_MSG(((op.feasible_mask >> static_cast<unsigned>(v)) & 1u) ==
+                         (feasible ? 1u : 0u),
+                     "audit: feasibility mask drifted from recomputation");
+      score_sum += qs;
+      port_waiting += ov.q.size();
+    }
+    HXSP_CHECK_MSG(op.score_sum == score_sum,
+                   "audit: per-port score sum drifted from recomputation");
+    HXSP_CHECK_MSG(op.waiting == port_waiting,
+                   "audit: per-port waiting count drifted from queues");
+    const bool listed =
+        std::binary_search(link_ports_.begin(), link_ports_.end(), p);
+    HXSP_CHECK_MSG(listed == (op.waiting > 0),
+                   "audit: link port list out of sync with waiting counts");
+    waiting_sum += op.waiting;
+  }
+  HXSP_CHECK_MSG(waiting_total_ == waiting_sum,
+                 "audit: router waiting total drifted");
+  HXSP_CHECK_MSG(std::is_sorted(link_ports_.begin(), link_ports_.end()),
+                 "audit: link port list not sorted");
+}
+
+void Network::run_audit() const {
+  const int len = cfg_.packet_length;
+  const int num_vcs = cfg_.num_vcs;
+
+  // --- per-router recomputation -------------------------------------------
+  for (const Router& r : routers_) r.audit_local(cfg_);
+
+  // --- network-level active sets ------------------------------------------
+  std::vector<SwitchId> alloc_expect;
+  std::vector<SwitchId> link_expect;
+  for (const Router& r : routers_) {
+    if (!r.active_.empty()) alloc_expect.push_back(r.id_);
+    if (r.waiting_total_ > 0) link_expect.push_back(r.id_);
+  }
+  HXSP_CHECK_MSG(alloc_expect == alloc_active_,
+                 "audit: alloc active set drifted from router states");
+  HXSP_CHECK_MSG(link_expect == link_active_,
+                 "audit: link active set drifted from router states");
+
+  // --- wheel scan: the in-flight side of every conservation ledger --------
+  // credit_inflight[r][port*V+vc]: credit phits on their way back to that
+  // output VC (CreditRouter events, plus pending Consume events whose
+  // eject credit has not been scheduled yet). tail_pending: OutTailGone
+  // events that will release output-buffer occupancy.
+  std::vector<std::vector<long>> credit_inflight(routers_.size());
+  std::vector<std::vector<int>> tail_pending(routers_.size());
+  for (std::size_t i = 0; i < routers_.size(); ++i) {
+    const std::size_t slots = static_cast<std::size_t>(routers_[i].num_ports()) *
+                              static_cast<std::size_t>(num_vcs);
+    credit_inflight[i].assign(slots, 0);
+    tail_pending[i].assign(slots, 0);
+  }
+  std::vector<std::vector<long>> server_credit_inflight(
+      servers_.size(),
+      std::vector<long>(static_cast<std::size_t>(num_vcs), 0));
+  long pending_consume = 0;
+  for (const auto& slot : wheel_) {
+    for (const Event& ev : slot) {
+      switch (ev.kind) {
+        case Event::Kind::CreditRouter:
+          credit_inflight[static_cast<std::size_t>(ev.a)]
+                         [routers_[static_cast<std::size_t>(ev.a)].vc_index(
+                             ev.port, ev.vc)] += ev.aux;
+          break;
+        case Event::Kind::CreditServer:
+          server_credit_inflight[static_cast<std::size_t>(ev.a)]
+                                [static_cast<std::size_t>(ev.vc)] += ev.aux;
+          break;
+        case Event::Kind::OutTailGone:
+          ++tail_pending[static_cast<std::size_t>(ev.a)]
+                        [routers_[static_cast<std::size_t>(ev.a)].vc_index(
+                            ev.port, ev.vc)];
+          break;
+        case Event::Kind::Consume: {
+          ++pending_consume;
+          // The eject credit is scheduled only when this fires; until
+          // then the pending consumption itself carries the reservation.
+          const SwitchId sw = ev.a / servers_per_switch_;
+          const Router& r = routers_[static_cast<std::size_t>(sw)];
+          const Port port = r.first_server_port() +
+                            static_cast<Port>(ev.a % servers_per_switch_);
+          credit_inflight[static_cast<std::size_t>(sw)]
+                         [r.vc_index(port, ev.vc)] += len;
+          break;
+        }
+        case Event::Kind::InDrainDone:
+          // The drained space is still counted in the input occupancy
+          // until this fires; the ledger moves only at fire time.
+          break;
+      }
+    }
+  }
+
+  // --- per-output-VC conservation: occupancy and credits ------------------
+  for (const Router& r : routers_) {
+    for (Port p = 0; p < static_cast<Port>(r.num_ports()); ++p) {
+      const bool dead_link =
+          p < r.num_switch_ports_ && !ctx_.graph->port_alive(r.id_, p);
+      for (Vc v = 0; v < num_vcs; ++v) {
+        const std::size_t idx = r.vc_index(p, v);
+        const OutputVc& ov = r.out_vcs_[idx];
+        // Occupancy is reserved from grant until the tail leaves over the
+        // link: queued packets plus transmissions awaiting OutTailGone.
+        HXSP_CHECK_MSG(
+            ov.occupancy ==
+                len * (ov.q.size() +
+                       tail_pending[static_cast<std::size_t>(r.id_)][idx]),
+            "audit: output occupancy drifted from queue + pending tails");
+        if (dead_link) {
+          HXSP_CHECK_MSG(ov.q.empty(),
+                         "audit: packet queued on a dead link's output");
+          continue; // credits of dropped packets were force-returned
+        }
+        // Credit conservation: every phit of the downstream input buffer
+        // is exactly one of — still free (credits), reserved by a packet
+        // queued here, occupied downstream, or riding the wheel home.
+        long accounted =
+            ov.credits + static_cast<long>(len) * ov.q.size() +
+            credit_inflight[static_cast<std::size_t>(r.id_)][idx];
+        if (p < r.num_switch_ports_) {
+          const PortInfo& pi = ctx_.graph->port(r.id_, p);
+          accounted +=
+              routers_[static_cast<std::size_t>(pi.neighbor)]
+                  .input(pi.remote_port, v)
+                  .occupancy;
+        }
+        HXSP_CHECK_MSG(accounted == ov.base_credits,
+                       "audit: credit conservation violated");
+      }
+    }
+  }
+
+  // --- server injection credit conservation -------------------------------
+  for (const Server& s : servers_) {
+    const Router& r = routers_[static_cast<std::size_t>(s.switch_id())];
+    const Port port =
+        r.first_server_port() + static_cast<Port>(s.local_index());
+    for (Vc v = 0; v < num_vcs; ++v) {
+      const long accounted =
+          s.credits(v) +
+          server_credit_inflight[static_cast<std::size_t>(s.id())]
+                                [static_cast<std::size_t>(v)] +
+          r.input(port, v).occupancy;
+      HXSP_CHECK_MSG(accounted == cfg_.input_buffer_phits(),
+                     "audit: server injection credit conservation violated");
+    }
+  }
+
+  // --- pool and packet conservation ---------------------------------------
+  long buffered = 0;
+  for (const Router& r : routers_) buffered += r.buffered_packets();
+  long queued = 0;
+  for (const Server& s : servers_) queued += s.queued();
+  HXSP_CHECK_MSG(static_cast<long>(pool_.live()) == buffered + queued,
+                 "audit: pool live count drifted from buffered packets");
+  HXSP_CHECK_MSG(packets_in_system_ == buffered + queued + pending_consume,
+                 "audit: packet conservation violated");
+
+  // --- completion accounting ----------------------------------------------
+  HXSP_CHECK_MSG(completion_outstanding_ >= 0,
+                 "audit: completion outstanding counter underflow");
+  bool all_completion = !servers_.empty();
+  long remaining = 0;
+  for (const Server& s : servers_) {
+    all_completion = all_completion && s.in_completion_mode();
+    remaining += s.remaining();
+  }
+  if (all_completion)
+    HXSP_CHECK_MSG(completion_outstanding_ == remaining,
+                   "audit: drain counter drifted from server budgets");
+}
+
+} // namespace hxsp

@@ -22,6 +22,20 @@ struct SimConfig {
   /// packets are in flight (deadlock/livelock tripwire). 0 disables.
   Cycle watchdog_cycles = 50000;
 
+  /// Every this many cycles the engine invariant auditor recomputes the
+  /// incrementally maintained hot-path structures (allocator score sums,
+  /// feasibility masks, active sets, ring-buffer occupancies, pool live
+  /// counts, per-link credit/packet conservation) from scratch and aborts
+  /// on any drift (see sim/audit.cpp). 0 disables (the default unless the
+  /// build sets -DHXSP_AUDIT=ON). The audit mutates nothing: enabling it
+  /// can only turn a silent byte-diff into a loud failure, never change
+  /// simulation output.
+#ifdef HXSP_AUDIT_BUILD
+  Cycle audit_interval = 1024;
+#else
+  Cycle audit_interval = 0;
+#endif
+
   /// Derived: input buffer capacity in phits.
   int input_buffer_phits() const { return input_buffer_packets * packet_length; }
 
@@ -42,7 +56,8 @@ inline bool operator==(const SimConfig& a, const SimConfig& b) {
          a.link_latency == b.link_latency && a.xbar_latency == b.xbar_latency &&
          a.xbar_speedup == b.xbar_speedup && a.num_vcs == b.num_vcs &&
          a.server_queue_packets == b.server_queue_packets &&
-         a.watchdog_cycles == b.watchdog_cycles;
+         a.watchdog_cycles == b.watchdog_cycles &&
+         a.audit_interval == b.audit_interval;
 }
 inline bool operator!=(const SimConfig& a, const SimConfig& b) {
   return !(a == b);

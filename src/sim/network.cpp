@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cinttypes>
 #include <cstdio>
+#include <limits>
 
 #include "util/log.hpp"
 #include "workload/run.hpp"
@@ -33,6 +34,10 @@ Network::Network(const NetworkContext& ctx, RoutingMechanism& mech,
 
   metrics_.configure(total, cfg_.packet_length);
   link_stats_ = LinkStats(*ctx_.graph);
+
+  HXSP_CHECK(cfg_.audit_interval >= 0);
+  next_audit_ = cfg_.audit_interval > 0 ? cfg_.audit_interval
+                                        : std::numeric_limits<Cycle>::max();
 }
 
 void Network::set_offered_load(double load) {
@@ -126,6 +131,14 @@ void Network::consume_at(PacketPtr pkt, Cycle when, Vc vc) {
 }
 
 void Network::step() {
+  // Audit before processing this cycle's events: every structure is
+  // settled from the previous cycle, and events still in the wheel are
+  // exactly the in-flight credits/consumptions the conservation ledger
+  // expects to find there.
+  if (now_ == next_audit_) {
+    run_audit();
+    next_audit_ += cfg_.audit_interval;
+  }
   process_events();
   // Generation must visit every server in id order: each loaded server
   // draws from the shared RNG stream every cycle, and that draw order is

@@ -200,6 +200,19 @@ class Network {
   /// Packets lost to runtime link failures so far.
   long dropped_packets() const { return dropped_packets_; }
 
+  // --- invariant auditor (sim/audit.cpp) ----------------------------------
+
+  /// Recomputes every incrementally maintained engine structure from
+  /// scratch — per-router allocator score sums, per-VC qs, feasibility
+  /// masks, out-head caches, active lists, the network-level active sets,
+  /// pool live counts, packet conservation, and per-link credit
+  /// conservation (wheel events included) — and HXSP_CHECKs each against
+  /// the maintained copy. Runs every SimConfig::audit_interval cycles when
+  /// that is > 0; callable directly any time (tests, tools). Mutates
+  /// nothing: turning auditing on cannot change simulation output, only
+  /// convert silent incremental-state drift into a loud abort.
+  void run_audit() const;
+
  private:
   void step();
   void process_events();
@@ -238,6 +251,9 @@ class Network {
 
   Cycle now_ = 0;
   Cycle last_progress_ = 0;
+  /// Next cycle the invariant auditor fires (max() when auditing is off),
+  /// so the per-step cost of the disabled auditor is one compare.
+  Cycle next_audit_ = 0;
   long packets_in_system_ = 0;
   /// Completion-mode packets not yet generated, summed over all servers;
   /// packets_in_system_ + completion_outstanding_ == 0 means fully

@@ -184,6 +184,25 @@ class Router {
   /// Debug invariant sweep: occupancies within bounds, credits sane.
   void check_invariants(const SimConfig& cfg) const;
 
+  /// Auditor (sim/audit.cpp): recomputes every incrementally maintained
+  /// router structure from first principles — per-VC qs and per-port score
+  /// sums, feasibility masks, out-head caches, waiting counts, the active
+  /// input list and its back-pointers, head gates — and aborts on drift.
+  /// Strictly stronger than check_invariants (exact equalities, not
+  /// bounds). Wheel-dependent ledgers (in-flight credits, pending tail
+  /// departures) are cross-checked by Network::run_audit.
+  void audit_local(const SimConfig& cfg) const;
+
+  /// Test-only mutable state access, for injecting incremental-state
+  /// corruption that the auditor must catch. Never used by the engine.
+  OutputPort& corrupt_output_for_test(Port p) {
+    return outputs_[static_cast<std::size_t>(p)];
+  }
+  int& corrupt_out_qs_for_test(Port p, Vc v) { return out_qs_[vc_index(p, v)]; }
+  Cycle& corrupt_out_head_for_test(Port p, Vc v) {
+    return out_head_[vc_index(p, v)];
+  }
+
  private:
   friend class Network;
 

@@ -90,6 +90,15 @@ class Server {
   /// Packets not yet generated in completion mode (0 in rate mode).
   long remaining() const { return remaining_ < 0 ? 0 : remaining_; }
 
+  // --- auditor accessors (sim/audit.cpp) ----------------------------------
+
+  /// Free phits this server believes remain in its switch's server-port
+  /// input buffer for \p vc (the upstream half of the credit ledger).
+  int credits(Vc vc) const { return credits_[static_cast<std::size_t>(vc)]; }
+
+  /// True in completion mode (a fixed per-server packet budget).
+  bool in_completion_mode() const { return remaining_ >= 0; }
+
   ServerId id() const { return id_; }
   SwitchId switch_id() const { return switch_; }
   int local_index() const { return local_; }
