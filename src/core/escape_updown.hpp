@@ -30,6 +30,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "routing/mechanism.hpp" // EscapeCand
 #include "topology/graph.hpp"
 #include "util/types.hpp"
 
@@ -53,13 +54,6 @@ inline bool operator==(const EscapePenalties& a, const EscapePenalties& b) {
 inline bool operator!=(const EscapePenalties& a, const EscapePenalties& b) {
   return !(a == b);
 }
-
-/// An escape candidate produced for the allocator.
-struct EscapeCand {
-  Port port = kInvalid;
-  int penalty = 0;
-  bool down_black = false; ///< black Down step (sets the strict-phase bit)
-};
 
 /// The escape subnetwork: link colouring plus Up/Down distance tables.
 class EscapeUpDown {

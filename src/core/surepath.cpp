@@ -22,7 +22,7 @@ CRoutVcPolicy SurePathMechanism::resolved_policy(const NetworkContext& ctx) cons
 }
 
 void SurePathMechanism::candidates(const NetworkContext& ctx, const Packet& p,
-                                   SwitchId sw,
+                                   SwitchId sw, RouteScratch& scratch,
                                    std::vector<Candidate>& out) const {
   HXSP_CHECK_MSG(ctx.escape, "SurePath requires an escape subnetwork");
   HXSP_CHECK_MSG(ctx.num_vcs >= 2, "SurePath needs at least 2 VCs");
@@ -43,9 +43,8 @@ void SurePathMechanism::candidates(const NetworkContext& ctx, const Packet& p,
   // rests on the escape subnetwork in every mode, which is what allows
   // SurePath to run with as few as 2 VCs and under faults (§3.1.2).
   if (!p.in_escape) {
-    std::vector<PortCand>& scratch = route_scratch_;
-    scratch.clear();
-    algo_->ports(ctx, p, sw, scratch);
+    scratch.ports.clear();
+    algo_->ports(ctx, p, sw, scratch.ports);
     Vc lo = 0, hi = top;
     switch (resolved_policy(ctx)) {
       case CRoutVcPolicy::Free:
@@ -58,14 +57,14 @@ void SurePathMechanism::candidates(const NetworkContext& ctx, const Packet& p,
         lo = hi = p.hops < top ? static_cast<Vc>(p.hops) : top;
         break;
     }
-    for (const PortCand& pc : scratch)
+    for (const PortCand& pc : scratch.ports)
       for (Vc v = lo; v <= hi; ++v)
         out.push_back({pc.port, v, pc.penalty, false, false});
   }
 
   // Rule 2: escape candidates for every packet, on the escape VC. Once on
   // CEsc a packet never returns to CRout.
-  std::vector<EscapeCand>& esc = escape_scratch_;
+  std::vector<EscapeCand>& esc = scratch.escape;
   esc.clear();
   ctx.escape->candidates(sw, p.dst_switch, p.escape_gone_down, esc);
   for (const EscapeCand& ec : esc)

@@ -55,6 +55,7 @@ class SurePathMechanism final : public RoutingMechanism {
   std::string name() const override { return display_; }
 
   void candidates(const NetworkContext& ctx, const Packet& p, SwitchId sw,
+                  RouteScratch& scratch,
                   std::vector<Candidate>& out) const override;
 
   void injection_vcs(const NetworkContext& ctx, const Packet& p,
@@ -86,11 +87,6 @@ class SurePathMechanism final : public RoutingMechanism {
   std::unique_ptr<RouteAlgorithm> algo_;
   std::string display_;
   CRoutVcPolicy vc_policy_;
-  // Scratch for candidates(); instance-scoped (not static/thread_local) so
-  // experiments sharing a pool thread cannot observe each other's state.
-  // Mechanisms are built per Experiment and used from one thread at a time.
-  mutable std::vector<PortCand> route_scratch_;
-  mutable std::vector<EscapeCand> escape_scratch_;
 };
 
 } // namespace hxsp

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "topology/computed_distance.hpp"
 #include "util/jsonio.hpp"
 #include "util/log.hpp"
 #include "workload/run.hpp"
@@ -132,7 +133,10 @@ Experiment::Experiment(const ExperimentSpec& spec)
   HXSP_CHECK_MSG(hx_->graph().connected(),
                  "fault set disconnects the network; experiment undefined");
 
-  dist_ = std::make_unique<DistanceTable>(hx_->graph());
+  // Dense reference table at small N, computed HyperX provider at large N
+  // (see make_distance_provider): value-identical by the parity suite, so
+  // the selection is purely a memory/time trade.
+  dist_ = make_distance_provider(*hx_);
   mech_ = make_mechanism(spec_.mechanism);
 
   if (mech_->needs_escape()) {
@@ -160,11 +164,22 @@ ResultRow Experiment::run_load(double offered) {
   return run_load_hotspots(offered, 0).first;
 }
 
+void Experiment::set_step_threads(int threads) {
+  HXSP_CHECK(threads >= 0);
+  if (threads == 0) {
+    step_pool_.reset();
+    return;
+  }
+  if (!step_pool_ || step_pool_->size() != threads)
+    step_pool_ = std::make_unique<ThreadPool>(threads);
+}
+
 std::pair<ResultRow, std::vector<LinkStats::Entry>>
 Experiment::run_load_hotspots(double offered, int top_n) {
   const int sps = hx_->servers_per_switch();
   Network net(ctx_, *mech_, *traffic_, spec_.sim, sps,
               rng_.fork(0x10AD).next_u64());
+  net.set_step_pool(step_pool_.get());
   net.set_offered_load(offered);
   net.run_cycles(spec_.warmup);
   net.begin_window();
@@ -187,6 +202,7 @@ CompletionResult Experiment::run_completion(long packets_per_server,
   const int sps = hx_->servers_per_switch();
   Network net(ctx_, *mech_, *traffic_, spec_.sim, sps,
               rng_.fork(0xC0).next_u64());
+  net.set_step_pool(step_pool_.get());
   CompletionResult res;
   res.mechanism = mech_->name();
   res.pattern = spec_.pattern;
@@ -204,6 +220,7 @@ WorkloadResult Experiment::run_workload(const WorkloadParams& params,
   const int sps = hx_->servers_per_switch();
   Network net(ctx_, *mech_, *traffic_, spec_.sim, sps,
               rng_.fork(0xE0).next_u64());
+  net.set_step_pool(step_pool_.get());
   // The workload's own stream: independent of the network stream so a
   // randomized workload (shuffle, random) does not perturb allocator
   // tie-breaks, and forked per call so repeated runs are identical.
@@ -249,13 +266,19 @@ DynamicResult Experiment::run_load_dynamic(double offered,
   const int sps = hx_->servers_per_switch();
   Network net(ctx_, *mech_, *traffic_, spec_.sim, sps,
               rng_.fork(0xD1).next_u64());
+  net.set_step_pool(step_pool_.get());
   DynamicResult res;
   res.num_servers = net.num_servers();
   net.attach_timeseries(&res.series);
   net.set_offered_load(offered);
 
   auto rebuild_tables = [&] {
-    *dist_ = DistanceTable(hx_->graph());
+    // run_to checks connectivity per fault before rebuilding, but guard
+    // here too: this lambda is also the restore path, and a rebuild on a
+    // disconnected graph would poison diameter()-derived TTL bounds.
+    HXSP_CHECK_MSG(hx_->graph().connected(),
+                   "table rebuild on a disconnected network");
+    dist_->rebuild();
     if (escape_) {
       EscapeUpDown::Config ecfg = escape_->config();
       *escape_ = EscapeUpDown(hx_->graph(), ecfg);
@@ -313,11 +336,12 @@ int Experiment::walk_route(SwitchId src, SwitchId dst, int max_hops) {
   SwitchId cur = src;
   mech_->on_arrival(ctx_, pkt, cur);
   int hops = 0;
+  RouteScratch scratch;
   std::vector<Candidate> cand;
   while (cur != dst) {
     if (hops >= max_hops) return -1;
     cand.clear();
-    mech_->candidates(ctx_, pkt, cur, cand);
+    mech_->candidates(ctx_, pkt, cur, scratch, cand);
     if (cand.empty()) return -1;
     // Deterministic greedy walk: lowest penalty, then lowest port/vc.
     const Candidate* best = &cand.front();

@@ -17,6 +17,7 @@
 #include "routing/factory.hpp"
 #include "sim/network.hpp"
 #include "topology/faults.hpp"
+#include "util/thread_pool.hpp"
 #include "workload/workload.hpp"
 
 namespace hxsp {
@@ -173,8 +174,15 @@ class Experiment {
   /// walk exceeds \p max_hops. Used by liveness tests and diagnostics.
   int walk_route(SwitchId src, SwitchId dst, int max_hops);
 
+  /// Runs the candidate phase of every simulation step on \p threads
+  /// worker threads (0 = serial, the default). Purely an execution knob:
+  /// results are bit-identical at every thread count (see
+  /// Network::set_step_pool), which is why it is not part of the spec or
+  /// its JSON codec. Affects Networks created by subsequent run_* calls.
+  void set_step_threads(int threads);
+
   const HyperX& hyperx() const { return *hx_; }
-  const DistanceTable& distances() const { return *dist_; }
+  const DistanceProvider& distances() const { return *dist_; }
   const EscapeUpDown* escape() const { return escape_.get(); }
   const NetworkContext& context() const { return ctx_; }
   RoutingMechanism& mechanism() { return *mech_; }
@@ -184,12 +192,13 @@ class Experiment {
  private:
   ExperimentSpec spec_;
   std::unique_ptr<HyperX> hx_;
-  std::unique_ptr<DistanceTable> dist_;
+  std::unique_ptr<DistanceProvider> dist_;
   std::unique_ptr<EscapeUpDown> escape_;
   std::unique_ptr<RoutingMechanism> mech_;
   std::unique_ptr<TrafficPattern> traffic_;
   NetworkContext ctx_;
   Rng rng_;
+  std::unique_ptr<ThreadPool> step_pool_; ///< null = serial stepping
 };
 
 /// Runs run_load() for every load in \p loads (convenience for sweeps).

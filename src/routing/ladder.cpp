@@ -21,12 +21,12 @@ Vc LadderMechanism::rung(int hops, int num_vcs) const {
 }
 
 void LadderMechanism::candidates(const NetworkContext& ctx, const Packet& p,
-                                 SwitchId sw, std::vector<Candidate>& out) const {
-  std::vector<PortCand>& scratch = route_scratch_;
-  scratch.clear();
-  algo_->ports(ctx, p, sw, scratch);
+                                 SwitchId sw, RouteScratch& scratch,
+                                 std::vector<Candidate>& out) const {
+  scratch.ports.clear();
+  algo_->ports(ctx, p, sw, scratch.ports);
   const Vc base = rung(p.hops, ctx.num_vcs);
-  for (const PortCand& pc : scratch)
+  for (const PortCand& pc : scratch.ports)
     for (int v = 0; v < vcs_per_step_; ++v)
       out.push_back({pc.port, base + v, pc.penalty, false, false});
 }

@@ -30,6 +30,7 @@ class LadderMechanism final : public RoutingMechanism {
   std::string name() const override { return display_; }
 
   void candidates(const NetworkContext& ctx, const Packet& p, SwitchId sw,
+                  RouteScratch& scratch,
                   std::vector<Candidate>& out) const override;
 
   void injection_vcs(const NetworkContext& ctx, const Packet& p,
@@ -57,9 +58,6 @@ class LadderMechanism final : public RoutingMechanism {
   std::unique_ptr<RouteAlgorithm> algo_;
   int vcs_per_step_;
   std::string display_;
-  // Scratch for candidates(); instance-scoped (not static/thread_local) so
-  // experiments sharing a pool thread cannot observe each other's state.
-  mutable std::vector<PortCand> route_scratch_;
 };
 
 } // namespace hxsp

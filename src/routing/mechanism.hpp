@@ -35,7 +35,7 @@ class EscapeUpDown; // core/escape_updown.hpp
 struct NetworkContext {
   const Graph* graph = nullptr;
   const HyperX* hyperx = nullptr;      ///< null for generic topologies
-  const DistanceTable* dist = nullptr;
+  const DistanceProvider* dist = nullptr;
   const EscapeUpDown* escape = nullptr;///< null unless SurePath
   int num_vcs = 0;
   int packet_length = 0;
@@ -55,6 +55,23 @@ struct Candidate {
   int penalty = 0;      ///< P, in phits
   bool escape = false;  ///< candidate lives on the escape subnetwork (CEsc)
   bool escape_down = false; ///< escape hop that is a black Down step
+};
+
+/// An escape-subnetwork candidate produced by EscapeUpDown for SurePath.
+struct EscapeCand {
+  Port port = kInvalid;
+  int penalty = 0;
+  bool down_black = false; ///< black Down step (sets the strict-phase bit)
+};
+
+/// Caller-owned scratch buffers for RoutingMechanism::candidates(). Keeping
+/// them out of the (shared, const) mechanism object is what makes the
+/// candidate phase safe to run from several router partitions at once: each
+/// Router owns one RouteScratch, so concurrent candidates() calls never
+/// touch common mutable state.
+struct RouteScratch {
+  std::vector<PortCand> ports;    ///< RouteAlgorithm::ports output
+  std::vector<EscapeCand> escape; ///< EscapeUpDown::candidates output
 };
 
 /// Port-level routing logic. Stateless; per-packet state lives in the
@@ -99,9 +116,14 @@ class RoutingMechanism {
   virtual std::string name() const = 0;
 
   /// Appends (port, vc, penalty) candidates for head packet \p p at switch
-  /// \p sw. Not called at the destination switch (router ejects).
+  /// \p sw, using \p scratch for intermediate buffers (cleared here; the
+  /// caller only provides the storage). Not called at the destination
+  /// switch (router ejects). Must be safe to call concurrently from
+  /// different threads as long as each call uses a distinct \p scratch —
+  /// the parallel stepping phase relies on this.
   virtual void candidates(const NetworkContext& ctx, const Packet& p,
-                          SwitchId sw, std::vector<Candidate>& out) const = 0;
+                          SwitchId sw, RouteScratch& scratch,
+                          std::vector<Candidate>& out) const = 0;
 
   /// Legal injection VCs for a fresh packet (server side).
   virtual void injection_vcs(const NetworkContext& ctx, const Packet& p,

@@ -5,15 +5,13 @@ namespace hxsp {
 void MinimalAlgorithm::ports(const NetworkContext& ctx, const Packet& p,
                              SwitchId sw, std::vector<PortCand>& out) const {
   const Graph& g = *ctx.graph;
-  const DistanceTable& dist = *ctx.dist;
-  const std::uint8_t d = dist.at(sw, p.dst_switch);
+  // One anchored row serves the switch probe and every neighbour probe
+  // (distances are symmetric); works for dense and computed providers.
+  const DistRow row(*ctx.dist, p.dst_switch);
+  const int d = row[sw];
   if (d == kUnreachable || d == 0) return;
-  const auto& ports = g.ports(sw);
-  for (Port q = 0; q < static_cast<Port>(ports.size()); ++q) {
-    const auto& pi = ports[static_cast<std::size_t>(q)];
-    if (!g.link_alive(pi.link)) continue;
-    if (dist.at(pi.neighbor, p.dst_switch) == d - 1) out.push_back({q, 0, false});
-  }
+  for (const AlivePort& ap : g.alive_ports(sw))
+    if (row[ap.neighbor] == d - 1) out.push_back({ap.port, 0, false});
 }
 
 int MinimalAlgorithm::max_hops(const NetworkContext& ctx) const {

@@ -5,21 +5,20 @@ namespace hxsp {
 void PolarizedAlgorithm::ports(const NetworkContext& ctx, const Packet& p,
                                SwitchId sw, std::vector<PortCand>& out) const {
   const Graph& g = *ctx.graph;
-  const DistanceTable& dist = *ctx.dist;
-  // Distances are symmetric, so d(neighbor, src/dst) reads from the
-  // src/dst rows — contiguous bytes shared by every neighbour probe.
-  const std::uint8_t* from_src = dist.row(p.src_switch);
-  const std::uint8_t* from_dst = dist.row(p.dst_switch);
-  const std::uint8_t dcs = from_src[static_cast<std::size_t>(sw)];
-  const std::uint8_t dct = from_dst[static_cast<std::size_t>(sw)];
+  // Distances are symmetric, so d(neighbor, src/dst) reads from rows
+  // anchored at src/dst — contiguous bytes (dense provider) or cached
+  // algebraic probes (computed provider), shared by every neighbour.
+  const DistRow from_src(*ctx.dist, p.src_switch);
+  const DistRow from_dst(*ctx.dist, p.dst_switch);
+  const int dcs = from_src[sw];
+  const int dct = from_dst[sw];
   if (dct == kUnreachable || dct == 0) return;
   // The paper's header boolean d(c,s) < d(c,t): still in the first half.
   const bool first_half = dcs < dct;
 
   for (const AlivePort& ap : g.alive_ports(sw)) {
-    const auto un = static_cast<std::size_t>(ap.neighbor);
-    const int ds = static_cast<int>(from_src[un]) - dcs;
-    const int dt = static_cast<int>(from_dst[un]) - dct;
+    const int ds = from_src[ap.neighbor] - dcs;
+    const int dt = from_dst[ap.neighbor] - dct;
     const int dmu = ds - dt;
     if (dmu < 0) continue;
     if (dmu == 0) {

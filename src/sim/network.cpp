@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "util/log.hpp"
+#include "util/thread_pool.hpp"
 #include "workload/run.hpp"
 
 namespace hxsp {
@@ -155,6 +156,31 @@ void Network::step() {
   // after alloc so a zero-latency crossbar grant can still transmit in
   // the same cycle (as it would under the full scan).
   phase_scratch_.assign(alloc_active_.begin(), alloc_active_.end());
+  if (step_pool_ && phase_scratch_.size() > 1) {
+    // Two-phase deterministic parallel step. Phase A precomputes routing
+    // candidates — the expensive, RNG-free, read-mostly prefix of the
+    // alloc phase — with the active routers partitioned contiguously
+    // across the pool; each job writes only its own routers' caches, so
+    // the phase is race-free by partition. Phase B (the serial loop
+    // below) then finds every candidate set already cached and performs
+    // requests, grants and RNG draws in exactly the serial order —
+    // bit-identical output at any worker count, including zero.
+    const std::size_t workers =
+        static_cast<std::size_t>(step_pool_->size());
+    const std::size_t per =
+        (phase_scratch_.size() + workers - 1) / workers;
+    for (std::size_t w = 0; w * per < phase_scratch_.size(); ++w) {
+      const std::size_t lo = w * per;
+      const std::size_t hi =
+          std::min(lo + per, phase_scratch_.size());
+      step_pool_->submit([this, lo, hi] {
+        for (std::size_t i = lo; i < hi; ++i)
+          routers_[static_cast<std::size_t>(phase_scratch_[i])]
+              .precompute_candidates(*this, now_);
+      });
+    }
+    step_pool_->wait_idle();
+  }
   for (SwitchId s : phase_scratch_)
     routers_[static_cast<std::size_t>(s)].alloc_phase(*this, now_);
   phase_scratch_.assign(link_active_.begin(), link_active_.end());

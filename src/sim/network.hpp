@@ -33,6 +33,7 @@
 
 namespace hxsp {
 
+class ThreadPool;  // util/thread_pool.hpp
 class WorkloadRun; // workload/run.hpp
 
 /// Inserts \p x into sorted \p v (no duplicates expected). Shared by the
@@ -139,6 +140,7 @@ class Network {
   const SimConfig& cfg() const { return cfg_; }
   Rng& rng() { return rng_; }
   RoutingMechanism& mechanism() { return mech_; }
+  const RoutingMechanism& mechanism() const { return mech_; }
   TrafficPattern& traffic() { return traffic_; }
   Router& router(SwitchId s) { return routers_[static_cast<std::size_t>(s)]; }
   Server& server(ServerId v) { return servers_[static_cast<std::size_t>(v)]; }
@@ -200,6 +202,22 @@ class Network {
   /// Packets lost to runtime link failures so far.
   long dropped_packets() const { return dropped_packets_; }
 
+  // --- deterministic intra-run parallel stepping ---------------------------
+
+  /// Attaches a worker pool for the candidate phase of step(): routers are
+  /// partitioned across the pool's threads, each precomputing the routing
+  /// candidates of its routers (a pure, RNG-free function of per-router
+  /// state and shared-immutable tables), and the serial allocation loop
+  /// then runs over the cached results in ascending router id — so every
+  /// request, grant and RNG draw happens in exactly the serial order and
+  /// the simulation stays bit-identical to step_pool == nullptr. Pass
+  /// nullptr to return to fully serial stepping. The pool is borrowed, not
+  /// owned, and must outlive the Network (or be detached first).
+  void set_step_pool(ThreadPool* pool) { step_pool_ = pool; }
+
+  /// The attached candidate-phase pool (null = serial stepping).
+  ThreadPool* step_pool() const { return step_pool_; }
+
   // --- invariant auditor (sim/audit.cpp) ----------------------------------
 
   /// Recomputes every incrementally maintained engine structure from
@@ -248,6 +266,7 @@ class Network {
   LinkStats link_stats_;
   TimeSeries* timeseries_ = nullptr;
   WorkloadRun* workload_ = nullptr;
+  ThreadPool* step_pool_ = nullptr; ///< borrowed; null = serial stepping
 
   Cycle now_ = 0;
   Cycle last_progress_ = 0;

@@ -86,6 +86,41 @@ int Router::queue_score(Port port, Vc vc) const {
          outputs_[static_cast<std::size_t>(port)].score_sum;
 }
 
+void Router::compute_candidates(const Network& net, InputVc& iv) {
+  const Packet& pkt = *iv.q.front();
+  iv.cand.clear();
+  if (pkt.dst_switch == id_) {
+    // Ejection: the only candidate is this packet's server port, VC 0.
+    const Port eject = first_server_port() +
+                       static_cast<Port>(pkt.dst_server %
+                                         net.servers_per_switch());
+    iv.cand.push_back({eject, 0, 0, false, false});
+    iv.num_routing_cands = 1;
+  } else {
+    net.mechanism().candidates(net.ctx(), pkt, id_, scratch_, iv.cand);
+    int routing = 0;
+    for (const Candidate& c : iv.cand) routing += c.escape ? 0 : 1;
+    iv.num_routing_cands = routing;
+  }
+  iv.cand_valid = true;
+}
+
+void Router::precompute_candidates(const Network& net, Cycle now) {
+  // Exactly the heads alloc_phase would compute candidates for this cycle:
+  // gate-open and cache-invalid. Gates and caches of *this* router cannot
+  // change between this phase and its alloc_phase (other routers' grants
+  // only touch their own state; cross-router effects travel through
+  // future-cycle events), so the precomputed set is exactly what serial
+  // alloc would have computed — candidate caching is a pure function of
+  // the head packet and shared-immutable tables, and draws no RNG.
+  for (const std::int32_t enc : active_) {
+    if (now < in_gate_[static_cast<std::size_t>(enc)]) continue;
+    InputVc& iv = inputs_[static_cast<std::size_t>(enc)];
+    if (iv.cand_valid) continue;
+    compute_candidates(net, iv);
+  }
+}
+
 void Router::alloc_phase(Network& net, Cycle now) {
   if (active_.empty()) return;
   const SimConfig& cfg = net.cfg();
@@ -104,23 +139,7 @@ void Router::alloc_phase(Network& net, Cycle now) {
     HXSP_DCHECK(pkt.buf_head <= now);
     HXSP_DCHECK(in_xbar_free_[static_cast<std::size_t>(enc / num_vcs_)] <= now);
 
-    if (!iv.cand_valid) {
-      iv.cand.clear();
-      if (pkt.dst_switch == id_) {
-        // Ejection: the only candidate is this packet's server port, VC 0.
-        const Port eject = first_server_port() +
-                           static_cast<Port>(pkt.dst_server %
-                                             net.servers_per_switch());
-        iv.cand.push_back({eject, 0, 0, false, false});
-        iv.num_routing_cands = 1;
-      } else {
-        net.mechanism().candidates(net.ctx(), pkt, id_, iv.cand);
-        int routing = 0;
-        for (const Candidate& c : iv.cand) routing += c.escape ? 0 : 1;
-        iv.num_routing_cands = routing;
-      }
-      iv.cand_valid = true;
-    }
+    if (!iv.cand_valid) compute_candidates(net, iv);
     if (iv.cand.empty()) {
       // Stuck: no legal move at all (e.g. DOR + fault). Only a table
       // rebuild can change that, and it resets the gate.

@@ -113,6 +113,15 @@ class Router {
   void push_input(Network& net, PacketPtr pkt, Port port, Vc vc, Cycle head,
                   Cycle tail);
 
+  /// Computes (and caches) the candidate set of every eligible head that
+  /// does not have one, without posting requests or drawing RNG — the
+  /// parallelizable prefix of alloc_phase. Safe to run concurrently for
+  /// different routers: it reads only shared-immutable state (topology,
+  /// distances, escape tables) and writes only this router's own buffers.
+  /// alloc_phase finds the work already done and computes nothing; running
+  /// this for any subset of routers therefore cannot change behaviour.
+  void precompute_candidates(const Network& net, Cycle now);
+
   /// Allocation phase: requests + grants for this cycle.
   void alloc_phase(Network& net, Cycle now);
 
@@ -237,6 +246,10 @@ class Router {
   /// Q term of the paper's allocation rule for output (port,vc).
   int queue_score(Port port, Vc vc) const;
 
+  /// Fills \p iv's candidate cache for its current head packet (the shared
+  /// body of alloc_phase and precompute_candidates).
+  void compute_candidates(const Network& net, InputVc& iv);
+
   SwitchId id_;
   int num_switch_ports_;
   int num_vcs_;
@@ -287,6 +300,8 @@ class Router {
   };
   std::vector<std::vector<Request>> pending_; ///< per output port
   std::vector<Port> dirty_outputs_;           ///< outputs with requests
+  RouteScratch scratch_; ///< per-router routing scratch (thread safety of
+                         ///< the parallel candidate phase rests on this)
 };
 
 } // namespace hxsp

@@ -1,42 +1,52 @@
 #include "topology/distance.hpp"
 
+#include <algorithm>
+
 namespace hxsp {
 
-DistanceTable::DistanceTable(const Graph& g)
-    : n_(static_cast<std::size_t>(g.num_switches())), d_(n_ * n_) {
+DistanceTable::DistanceTable(const Graph& g) : g_(&g) { rebuild(); }
+
+void DistanceTable::rebuild() {
+  HXSP_CHECK_MSG(g_ != nullptr, "rebuild() on a default-constructed table");
+  const Graph& g = *g_;
+  n_ = static_cast<std::size_t>(g.num_switches());
+  d_.assign(n_ * n_, kUnreachable);
+  connected_ = true;
+  diameter_ = 0;
   for (SwitchId s = 0; s < g.num_switches(); ++s) {
     const auto row = g.bfs(s);
-    std::copy(row.begin(), row.end(), d_.begin() + static_cast<std::ptrdiff_t>(
-                                                       static_cast<std::size_t>(s) * n_));
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      const std::uint8_t v = row[i];
+      if (v == kUnreachable)
+        connected_ = false;
+      else if (static_cast<int>(v) > diameter_)
+        diameter_ = v;
+      d_[static_cast<std::size_t>(s) * n_ + i] = v;
+    }
   }
 }
 
 int DistanceTable::diameter() const {
-  std::uint8_t m = 0;
-  for (std::uint8_t v : d_) {
-    if (v == kUnreachable) return kUnreachable;
-    m = std::max(m, v);
-  }
-  return m;
+  HXSP_CHECK_MSG(connected_,
+                 "diameter() on a disconnected graph; probe "
+                 "diameter_if_connected() instead");
+  return diameter_;
 }
 
 double DistanceTable::average_distance() const {
+  if (!connected_) return -1.0;
   double sum = 0;
-  for (std::uint8_t v : d_) {
-    if (v == kUnreachable) return -1.0;
-    sum += v;
-  }
+  for (std::uint8_t v : d_) sum += v;
   return sum / static_cast<double>(d_.size());
 }
 
 int DistanceTable::eccentricity(SwitchId s) const {
+  HXSP_CHECK_MSG(connected_,
+                 "eccentricity() on a disconnected graph; probe "
+                 "eccentricity_if_connected() instead");
   std::uint8_t m = 0;
   const std::size_t base = static_cast<std::size_t>(s) * n_;
-  for (std::size_t i = 0; i < n_; ++i) {
-    const std::uint8_t v = d_[base + i];
-    if (v == kUnreachable) return kUnreachable;
-    m = std::max(m, v);
-  }
+  for (std::size_t i = 0; i < n_; ++i) m = std::max(m, d_[base + i]);
   return m;
 }
 

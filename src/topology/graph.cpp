@@ -77,11 +77,17 @@ std::vector<std::uint8_t> Graph::bfs(SwitchId source) const {
     const SwitchId u = q.front();
     q.pop_front();
     const std::uint8_t du = dist[static_cast<std::size_t>(u)];
-    if (du == kUnreachable - 1) continue; // saturate instead of overflow
     for (const auto& pi : ports(u)) {
       if (!link_alive(pi.link)) continue;
       auto& dv = dist[static_cast<std::size_t>(pi.neighbor)];
       if (dv == kUnreachable) {
+        // Depths beyond kUnreachable-1 do not fit the uint8 storage.
+        // Silently saturating would corrupt distance-based routing (a
+        // saturated entry looks closer than it is), so overflow aborts;
+        // fine for HyperX (diameter = dims), and the loud failure is what
+        // the large-torus roadmap item needs to widen the type first.
+        HXSP_CHECK_MSG(du < kUnreachable - 1,
+                       "BFS depth overflows uint8 distance storage");
         dv = static_cast<std::uint8_t>(du + 1);
         q.push_back(pi.neighbor);
       }

@@ -161,10 +161,23 @@ TEST(Distance, CompleteGraphStats) {
 TEST(Distance, DisconnectedReportsUnreachable) {
   Graph g = make_from_edges(3, {{0, 1}});
   const DistanceTable t(g);
-  EXPECT_EQ(t.diameter(), kUnreachable);
+  EXPECT_FALSE(t.connected());
+  EXPECT_EQ(t.diameter_if_connected(), std::nullopt);
+  EXPECT_EQ(t.eccentricity_if_connected(0), std::nullopt);
   EXPECT_LT(t.average_distance(), 0);
   EXPECT_FALSE(t.reachable(0, 2));
   EXPECT_TRUE(t.reachable(0, 1));
+  EXPECT_EQ(t.at(0, 2), kUnreachable);
+}
+
+TEST(DistanceDeathTest, DiameterAbortsOnDisconnectedGraph) {
+  // The old behaviour returned the kUnreachable sentinel (255) as a plain
+  // int, which callers multiplied into TTL bounds (4 * diameter()). The
+  // sentinel is not a number; asking for it must be loud.
+  Graph g = make_from_edges(3, {{0, 1}});
+  const DistanceTable t(g);
+  EXPECT_DEATH((void)t.diameter(), "disconnected");
+  EXPECT_DEATH((void)t.eccentricity(0), "disconnected");
 }
 
 TEST(Distance, TriangleInequalityHolds) {

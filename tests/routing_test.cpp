@@ -238,12 +238,13 @@ TEST(Ladder, OneStepVcFollowsHops) {
   LadderMechanism mech(std::make_unique<MinimalAlgorithm>(), 1, "test");
   Packet p = make_packet(t, t.hx->switch_at({0, 0}), t.hx->switch_at({1, 1}));
   std::vector<Candidate> out;
-  mech.candidates(t.ctx, p, p.src_switch, out);
+  RouteScratch scratch;
+  mech.candidates(t.ctx, p, p.src_switch, scratch, out);
   ASSERT_FALSE(out.empty());
   for (const auto& c : out) EXPECT_EQ(c.vc, 0);
   p.hops = 1;
   out.clear();
-  mech.candidates(t.ctx, p, t.hx->switch_at({1, 0}), out);
+  mech.candidates(t.ctx, p, t.hx->switch_at({1, 0}), scratch, out);
   for (const auto& c : out) EXPECT_EQ(c.vc, 1);
 }
 
@@ -252,13 +253,14 @@ TEST(Ladder, TwoStepOffersPairOfVcs) {
   LadderMechanism mech(std::make_unique<MinimalAlgorithm>(), 2, "Minimal");
   Packet p = make_packet(t, t.hx->switch_at({0, 0}), t.hx->switch_at({1, 1}));
   std::vector<Candidate> out;
-  mech.candidates(t.ctx, p, p.src_switch, out);
+  RouteScratch scratch;
+  mech.candidates(t.ctx, p, p.src_switch, scratch, out);
   std::set<Vc> vcs;
   for (const auto& c : out) vcs.insert(c.vc);
   EXPECT_EQ(vcs, (std::set<Vc>{0, 1}));
   p.hops = 1;
   out.clear();
-  mech.candidates(t.ctx, p, t.hx->switch_at({1, 0}), out);
+  mech.candidates(t.ctx, p, t.hx->switch_at({1, 0}), scratch, out);
   vcs.clear();
   for (const auto& c : out) vcs.insert(c.vc);
   EXPECT_EQ(vcs, (std::set<Vc>{2, 3}));
@@ -270,7 +272,8 @@ TEST(Ladder, SaturatesAtTopRung) {
   Packet p = make_packet(t, t.hx->switch_at({0, 0}), t.hx->switch_at({1, 1}));
   p.hops = 9; // beyond the 4-VC ladder
   std::vector<Candidate> out;
-  mech.candidates(t.ctx, p, p.src_switch, out);
+  RouteScratch scratch;
+  mech.candidates(t.ctx, p, p.src_switch, scratch, out);
   for (const auto& c : out) EXPECT_EQ(c.vc, 3);
 }
 

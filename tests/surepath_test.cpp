@@ -37,7 +37,8 @@ TEST(SurePath, RoutingCandidatesOnAllCRoutVcs) {
   auto mech = omnisp();
   Packet p = make_packet(t, t.hx->switch_at({0, 0}), t.hx->switch_at({2, 0}));
   std::vector<Candidate> out;
-  mech->candidates(t.ctx, p, p.src_switch, out);
+  RouteScratch scratch;
+  mech->candidates(t.ctx, p, p.src_switch, scratch, out);
   std::set<Vc> rout_vcs, esc_vcs;
   for (const auto& c : out) {
     if (c.escape)
@@ -54,12 +55,13 @@ TEST(SurePath, EscapeCandidatesAlwaysPresent) {
   auto t = make_net(2, 4);
   auto mech = polsp();
   std::vector<Candidate> out;
+  RouteScratch scratch;
   for (SwitchId a = 0; a < t.hx->num_switches(); ++a)
     for (SwitchId b = 0; b < t.hx->num_switches(); ++b) {
       if (a == b) continue;
       Packet p = make_packet(t, a, b);
       out.clear();
-      mech->candidates(t.ctx, p, a, out);
+      mech->candidates(t.ctx, p, a, scratch, out);
       bool has_escape = false;
       for (const auto& c : out) has_escape |= c.escape;
       EXPECT_TRUE(has_escape) << a << "->" << b;
@@ -72,7 +74,8 @@ TEST(SurePath, NoReturnFromEscape) {
   Packet p = make_packet(t, t.hx->switch_at({0, 0}), t.hx->switch_at({2, 2}));
   p.in_escape = true;
   std::vector<Candidate> out;
-  mech->candidates(t.ctx, p, p.src_switch, out);
+  RouteScratch scratch;
+  mech->candidates(t.ctx, p, p.src_switch, scratch, out);
   ASSERT_FALSE(out.empty());
   for (const auto& c : out) {
     EXPECT_TRUE(c.escape);
@@ -125,14 +128,15 @@ TEST(SurePath, RungPolicyFollowsHopCount) {
   Packet p = make_packet(t, t.hx->switch_at({0, 0}), t.hx->switch_at({2, 2}));
   p.hops = 1;
   std::vector<Candidate> out;
-  mech->candidates(t.ctx, p, t.hx->switch_at({2, 0}), out);
+  RouteScratch scratch;
+  mech->candidates(t.ctx, p, t.hx->switch_at({2, 0}), scratch, out);
   ASSERT_FALSE(out.empty());
   for (const auto& c : out)
     if (!c.escape) { EXPECT_EQ(c.vc, 1); }
   // Rung saturates at the top CRout VC.
   p.hops = 9;
   out.clear();
-  mech->candidates(t.ctx, p, t.hx->switch_at({2, 0}), out);
+  mech->candidates(t.ctx, p, t.hx->switch_at({2, 0}), scratch, out);
   for (const auto& c : out)
     if (!c.escape) { EXPECT_EQ(c.vc, 2); }
 }
@@ -163,7 +167,8 @@ TEST(SurePath, MonotonePolicyRespectsCurrentVc) {
   Packet p = make_packet(t, t.hx->switch_at({0, 0}), t.hx->switch_at({2, 2}));
   p.cur_vc = 1;
   std::vector<Candidate> out;
-  mech.candidates(t.ctx, p, p.src_switch, out);
+  RouteScratch scratch;
+  mech.candidates(t.ctx, p, p.src_switch, scratch, out);
   ASSERT_FALSE(out.empty());
   for (const auto& c : out)
     if (!c.escape) { EXPECT_GE(c.vc, 1); }
@@ -184,7 +189,8 @@ TEST(SurePath, ForcedHopWhenBaseRoutingDead) {
   auto mech = omnisp();
   Packet p = make_packet(t, src, dst);
   std::vector<Candidate> out;
-  mech->candidates(t.ctx, p, src, out);
+  RouteScratch scratch;
+  mech->candidates(t.ctx, p, src, scratch, out);
   ASSERT_FALSE(out.empty());
   for (const auto& c : out) EXPECT_TRUE(c.escape);
 }
@@ -199,11 +205,12 @@ int surepath_walk(const TestNet& t, RoutingMechanism& mech, SwitchId src,
   SwitchId c = src;
   mech.on_arrival(t.ctx, p, c);
   std::vector<Candidate> out;
+  RouteScratch scratch;
   int hops = 0;
   while (c != dst) {
     if (hops > max_hops) return -1;
     out.clear();
-    mech.candidates(t.ctx, p, c, out);
+    mech.candidates(t.ctx, p, c, scratch, out);
     if (out.empty()) return -1;
     const Candidate* best = &out.front();
     for (const auto& cc : out)
@@ -283,7 +290,8 @@ TEST(SurePath, RequiresEscapeInContext) {
   auto mech = omnisp();
   Packet p = make_packet(t, 0, 5);
   std::vector<Candidate> out;
-  EXPECT_DEATH(mech->candidates(t.ctx, p, 0, out), "escape");
+  RouteScratch scratch;
+  EXPECT_DEATH(mech->candidates(t.ctx, p, 0, scratch, out), "escape");
 }
 
 } // namespace

@@ -14,15 +14,39 @@
 /// steady-state Network (each rep times the next `--cycles` window);
 /// drain reps re-run the identical drain from scratch.
 ///
-/// Usage: hxsp_perf [--quick] [--label=NAME] [--out=FILE] [--reps=N]
-///                  [--cycles=N] [--warmup=N] [--seed=N] [--only=CONFIG]
+/// Usage: hxsp_perf [--quick] [--grid=fig06|big] [--label=NAME]
+///                  [--out=FILE] [--reps=N] [--cycles=N] [--warmup=N]
+///                  [--seed=N] [--only=CONFIG] [--step-threads=N]
+///                  [--note=TEXT]
 ///                  [--loads=a,b,c]  (override the rate-config loads)
 ///
 ///   --quick   CI-sized grid (4x4, short windows) — smoke scale, numbers
 ///             are not comparable with the default grid.
+///
+///   --grid=big  million-server scale smoke: a 64x64x64 HyperX with 4
+///             servers per switch (262,144 switches, 1,048,576 servers),
+///             where the dense all-pairs table would need 64 GiB and the
+///             computed HyperX distance provider is mandatory. Two
+///             configs: `big_dor` (DOR, 1 VC, provably deadlock-free,
+///             healthy fabric — pure algebraic distances) and `big_min`
+///             (minimal adaptive, 2 VCs, a prefix of link faults — drives
+///             the provider's subcube-dirty check and cached-BFS
+///             fallback). Lean buffers and low offered load keep the
+///             footprint to packets actually in flight. With --quick the
+///             topology shrinks to 32x32x32 with 32 servers per switch —
+///             still 1,048,576 servers, 8x fewer switches.
+///
+///   --step-threads=N  attach an N-worker pool to the deterministic
+///             two-phase step (candidate precompute in parallel, alloc
+///             serial). Output is bit-identical at any N; only wall time
+///             may change.
+///
+///   --note=TEXT  free-text annotation stored in the written entry (e.g.
+///             the host's core count, which bounds any parallel speedup).
 
 #include <cstdio>
 #include <ctime>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -31,6 +55,7 @@
 #include "util/fileio.hpp"
 #include "util/jsonio.hpp"
 #include "util/options.hpp"
+#include "util/thread_pool.hpp"
 
 using namespace hxsp;
 
@@ -85,11 +110,38 @@ ExperimentSpec fig06_style_spec(int side, int faults, std::uint64_t seed) {
   return s;
 }
 
+/// Million-server scale-smoke spec. Lean buffers and a 4-phit packet keep
+/// per-(port,VC) state small; the low offered load (set per config) keeps
+/// the in-flight population far from saturation so a short window steps
+/// quickly. The watchdog stays armed — a deadlock at this scale should
+/// abort, not spin. \p faults fails the first links of the graph's id
+/// order: all incident to low-id switches, so the fabric stays connected
+/// (radix is 3*(side-1)) while every minimal subcube touching them goes
+/// dirty — the computed provider's exact-fallback path gets real work.
+ExperimentSpec big_spec(int side, int sps, const std::string& mechanism,
+                        int vcs, int faults, std::uint64_t seed) {
+  ExperimentSpec s;
+  s.sides = {side, side, side};
+  s.servers_per_switch = sps;
+  s.mechanism = mechanism;
+  s.pattern = "uniform";
+  s.sim.packet_length = 4;
+  s.sim.input_buffer_packets = 2;
+  s.sim.output_buffer_packets = 1;
+  s.sim.num_vcs = vcs;
+  s.sim.server_queue_packets = 2;
+  s.seed = seed;
+  for (int l = 0; l < faults; ++l)
+    s.fault_links.push_back(static_cast<LinkId>(l));
+  return s;
+}
+
 PerfResult measure_rate(const PerfConfig& pc, Cycle warmup, Cycle timed,
-                        int reps) {
+                        int reps, ThreadPool* pool) {
   Experiment e(pc.spec);
   Network net(e.context(), e.mechanism(), e.traffic(), pc.spec.sim,
               pc.spec.resolved_servers_per_switch(), pc.spec.seed);
+  net.set_step_pool(pool);
   net.set_offered_load(pc.load);
   net.run_cycles(warmup);
 
@@ -112,13 +164,15 @@ PerfResult measure_rate(const PerfConfig& pc, Cycle warmup, Cycle timed,
   return r;
 }
 
-PerfResult measure_drain(const PerfConfig& pc, Cycle limit, int reps) {
+PerfResult measure_drain(const PerfConfig& pc, Cycle limit, int reps,
+                         ThreadPool* pool) {
   PerfResult r;
   r.name = pc.name;
   for (int rep = 0; rep < reps; ++rep) {
     Experiment e(pc.spec);
     Network net(e.context(), e.mechanism(), e.traffic(), pc.spec.sim,
                 pc.spec.resolved_servers_per_switch(), pc.spec.seed);
+    net.set_step_pool(pool);
     net.set_completion_load(pc.drain_packets);
     const double t0 = cpu_now();
     const bool drained = net.run_until_drained(limit);
@@ -182,7 +236,7 @@ std::vector<JsonValue> load_other_entries(const std::string& path,
 }
 
 void write_bench_json(const std::string& path, const std::string& label,
-                      const std::string& grid_name,
+                      const std::string& grid_name, const std::string& note,
                       const std::vector<JsonValue>& kept,
                       const std::vector<PerfResult>& results) {
   JsonWriter w;
@@ -193,6 +247,7 @@ void write_bench_json(const std::string& path, const std::string& label,
   w.begin_object();
   w.key("label").value(label);
   w.key("grid").value(grid_name);
+  if (!note.empty()) w.key("note").value(note);
   w.key("configs").begin_array();
   for (const PerfResult& r : results) {
     w.begin_object();
@@ -229,55 +284,85 @@ int main(int argc, char** argv) {
   const std::uint64_t seed = static_cast<std::uint64_t>(opt.get_int("seed", 1));
 
   const std::string only = opt.get("only", "");
-  const int side = quick ? 4 : 8;
-  const int faults = quick ? 4 : 8;
-  const Cycle warmup = opt.get_int("warmup", quick ? 300 : 1000);
-  const Cycle timed = opt.get_int("cycles", quick ? 1000 : 4000);
-  const long drain_packets = quick ? 16 : 48;
+  const std::string grid_kind = opt.get("grid", "fig06");
+  const std::string note = opt.get("note", "");
+  const int step_threads = static_cast<int>(opt.get_int("step-threads", 0));
+  HXSP_CHECK_MSG(grid_kind == "fig06" || grid_kind == "big",
+                 "--grid must be 'fig06' or 'big'");
+  const bool big = grid_kind == "big";
+  const Cycle warmup =
+      opt.get_int("warmup", big ? (quick ? 10 : 30) : (quick ? 300 : 1000));
+  const Cycle timed =
+      opt.get_int("cycles", big ? (quick ? 40 : 100) : (quick ? 1000 : 4000));
   opt.warn_unknown();
 
   // Validate/load any existing output before spending time measuring.
   std::vector<JsonValue> kept;
   if (out != "none") kept = load_other_entries(out, label);
 
-  const ExperimentSpec base = fig06_style_spec(side, faults, seed);
-  // The fixed rate points bracket the fig06 operating curve (the figure
-  // itself measures saturated throughput at offered 1.0): mostly-idle,
-  // uncongested flow below the knee, the middle of the congestion
-  // transition, and full saturation.
-  const std::vector<double> loads =
-      opt.get_double_list("loads", {0.10, 0.55, 0.80, 0.95});
-  const char* load_names[] = {"fig06_low", "fig06_half", "fig06_mid",
-                              "fig06_sat"};
   std::vector<PerfConfig> grid;
-  for (std::size_t i = 0; i < loads.size(); ++i) {
-    PerfConfig pc;
-    pc.name = i < 4 ? load_names[i] : "fig06_load" + std::to_string(i);
-    pc.spec = base;
-    pc.load = loads[i];
-    grid.push_back(std::move(pc));
-  }
-  {
+  std::string grid_name;
+  if (big) {
+    const int side = quick ? 32 : 64;
+    const int sps = quick ? 32 : 4;
+    // Both configs carry 1,048,576 servers. DOR on one VC is provably
+    // deadlock-free, so big_dor is the clean "does the engine step a
+    // million servers" smoke; big_min adds minimal-adaptive routing over
+    // a faulted fabric, forcing the computed distance provider through
+    // its subcube-dirty check and BFS-row fallback on every route near
+    // the faults.
+    PerfConfig dor;
+    dor.name = "big_dor";
+    dor.spec = big_spec(side, sps, "dor", /*vcs=*/1, /*faults=*/0, seed);
+    dor.load = 0.05;
+    grid.push_back(std::move(dor));
+    PerfConfig min;
+    min.name = "big_min";
+    min.spec = big_spec(side, sps, "minimal", /*vcs=*/2, /*faults=*/16, seed);
+    min.load = 0.03;
+    grid.push_back(std::move(min));
+    grid_name = quick ? "big-quick-32x32x32" : "big-64x64x64";
+  } else {
+    const int side = quick ? 4 : 8;
+    const int faults = quick ? 4 : 8;
+    const long drain_packets = quick ? 16 : 48;
+    const ExperimentSpec base = fig06_style_spec(side, faults, seed);
+    // The fixed rate points bracket the fig06 operating curve (the figure
+    // itself measures saturated throughput at offered 1.0): mostly-idle,
+    // uncongested flow below the knee, the middle of the congestion
+    // transition, and full saturation.
+    const std::vector<double> loads =
+        opt.get_double_list("loads", {0.10, 0.55, 0.80, 0.95});
+    const char* load_names[] = {"fig06_low", "fig06_half", "fig06_mid",
+                                "fig06_sat"};
+    for (std::size_t i = 0; i < loads.size(); ++i) {
+      PerfConfig pc;
+      pc.name = i < 4 ? load_names[i] : "fig06_load" + std::to_string(i);
+      pc.spec = base;
+      pc.load = loads[i];
+      grid.push_back(std::move(pc));
+    }
     PerfConfig pc;
     pc.name = "fig06_drain";
     pc.spec = base;
     pc.drain_packets = drain_packets;
     grid.push_back(std::move(pc));
+    grid_name = quick ? "quick-4x4" : "fig06-8x8";
   }
-
-  const std::string grid_name = quick ? "quick-4x4" : "fig06-8x8";
   std::printf("hxsp_perf — engine stepping rate, grid %s, label '%s'\n",
               grid_name.c_str(), label.c_str());
   std::printf("%-12s %10s %12s %14s %14s\n", "config", "cycles", "wall_s",
               "cycles/sec", "packets/sec");
 
+  const std::unique_ptr<ThreadPool> pool =
+      step_threads > 0 ? std::make_unique<ThreadPool>(step_threads) : nullptr;
   std::vector<PerfResult> results;
   for (const PerfConfig& pc : grid) {
     if (!only.empty() && pc.name != only) continue;
     const PerfResult r =
         pc.drain_packets > 0
-            ? measure_drain(pc, /*limit=*/2000000, reps)
-            : measure_rate(pc, warmup, timed, reps);
+            ? measure_drain(pc, /*limit=*/2000000, reps, pool.get())
+            : measure_rate(pc, warmup, timed, reps, pool.get());
     std::printf("%-12s %10lld %12.4f %14.0f %14.0f\n", r.name.c_str(),
                 static_cast<long long>(r.cycles), r.wall_seconds,
                 r.cycles_per_sec, r.packets_per_sec);
@@ -286,7 +371,7 @@ int main(int argc, char** argv) {
   }
 
   if (out != "none") {
-    write_bench_json(out, label, grid_name, kept, results);
+    write_bench_json(out, label, grid_name, note, kept, results);
     std::printf("wrote %s (label '%s')\n", out.c_str(), label.c_str());
   }
   return 0;
