@@ -33,6 +33,7 @@ DRIVERS=(
   "ext_dragonfly_escape"
   "ext_dynamic_faults --side=4 --warmup=500 --measure=2000 --faults=3"
   "ext_workloads --side=4 --sps=1 --msg-packets=2 --fault-fracs=0,0.05 --bucket=500"
+  "ext_multitenant --side=4 --msg-packets=2 --fault-fracs=0,0.05 --mixes=pair --bucket=500"
 )
 
 for entry in "${DRIVERS[@]}"; do

@@ -15,6 +15,10 @@ Per-figure presets reproduce the paper's exact panel shapes:
                            time series as throughput-over-time lines
   --preset workload        workload completion curves: completion_time
                            against the fault fraction, facet per workload
+  --preset multitenant     per-tenant slowdown against the fault fraction,
+                           one line per placement policy (from the extra
+                           column of kind="tenant" rows), facet per tenant
+                           workload
 
 Stdlib-only by default; when matplotlib is installed a PNG is written
 (headless via the Agg backend), otherwise an ASCII rendition goes to
@@ -28,6 +32,7 @@ Examples:
   scripts/plot_results.py fig08.csv --preset=fig08 --y=degradation
   scripts/plot_results.py fig10.csv --preset=fig10 --out=fig10.png
   scripts/plot_results.py workloads.csv --preset=workload
+  scripts/plot_results.py multitenant.csv --preset=multitenant
 """
 
 import argparse
@@ -78,31 +83,44 @@ def load_rows(paths, kinds, driver):
     return rows
 
 
+def cell_value(row, key):
+    """Numeric value of a schema column or (fallback) an extra key."""
+    raw = row.get(key)
+    if raw is None:
+        raw = parse_extra(row.get("extra", "")).get(key)
+    if raw is None:
+        return None
+    try:
+        return float(raw)
+    except ValueError:
+        return None
+
+
 def x_value(row, x_key):
-    if x_key in row:
-        return float(row[x_key])
-    extra = parse_extra(row.get("extra", ""))
-    if x_key in extra:
-        return float(extra[x_key])
-    return None
+    return cell_value(row, x_key)
 
 
-def collect_series(rows, x_key, y_key):
-    """-> (facets, series_order): facets maps pattern -> {mechanism ->
-    sorted [(x, y)]}; series_order is first-seen mechanism order, shared
-    by every facet so a mechanism keeps its hue across patterns."""
+def collect_series(rows, x_key, y_key, series_key=None):
+    """-> (facets, series_order): facets maps pattern -> {series ->
+    sorted [(x, y)]}; series_order is first-seen series order, shared
+    by every facet so a series keeps its hue across patterns. The
+    series identity is the mechanism (default) or any column / extra
+    key named by series_key — e.g. the placement policy of a
+    multitenant sweep."""
     facets = {}
     series_order = []
     for row in rows:
-        x = x_value(row, x_key)
-        if x is None:
-            continue
-        try:
-            y = float(row.get(y_key, ""))
-        except ValueError:
+        x = cell_value(row, x_key)
+        y = cell_value(row, y_key)
+        if x is None or y is None:
             continue
         pattern = row.get("pattern") or "(no pattern)"
-        mech = row.get("mechanism") or row.get("label") or "(series)"
+        if series_key:
+            mech = (row.get(series_key) or
+                    parse_extra(row.get("extra", "")).get(series_key) or
+                    "(series)")
+        else:
+            mech = row.get("mechanism") or row.get("label") or "(series)"
         if mech not in series_order:
             series_order.append(mech)
         facets.setdefault(pattern, {}).setdefault(mech, []).append((x, y))
@@ -312,11 +330,14 @@ def render_png(facets, series_order, x_key, y_key, out, title):
 
 
 PRESETS = {
-    # preset: (default kinds, default x, default y)
-    "fig08": ("rate", None, "accepted"),
-    "fig09": ("rate", None, "accepted"),
-    "fig10": ("completion,workload", None, None),
-    "workload": ("workload", "fault_frac", "completion_time"),
+    # preset: (default kinds, default x, default y, default series key)
+    "fig08": ("rate", None, "accepted", None),
+    "fig09": ("rate", None, "accepted", None),
+    "fig10": ("completion,workload", None, None, None),
+    "workload": ("workload", "fault_frac", "completion_time", None),
+    # Per-tenant slowdown vs fault fraction, one line per placement
+    # policy, facet per tenant workload (the "pattern" of tenant rows).
+    "multitenant": ("tenant", "fault_frac", "slowdown", "placement"),
 }
 
 
@@ -334,6 +355,9 @@ def main():
                     help="y axis: a schema column (default accepted); "
                          "with --preset=fig08/fig09 also 'degradation' "
                          "(recomputed against the healthy rows)")
+    ap.add_argument("--series", default=None,
+                    help="series identity: a schema column or extra key "
+                         "(default mechanism), e.g. placement")
     ap.add_argument("--kind", default=None,
                     help="record kinds to plot (comma list); default "
                          "rate,dynamic")
@@ -348,11 +372,12 @@ def main():
                     help="force the ASCII rendition even with matplotlib")
     args = ap.parse_args()
 
-    preset_kind, preset_x, preset_y = PRESETS.get(args.preset,
-                                                  ("rate,dynamic", None, None))
+    preset_kind, preset_x, preset_y, preset_series = PRESETS.get(
+        args.preset, ("rate,dynamic", None, None, None))
     kind = args.kind if args.kind is not None else preset_kind
     x_key = args.x if args.x is not None else (preset_x or "offered")
     y_key = args.y if args.y is not None else (preset_y or "accepted")
+    series_key = args.series if args.series is not None else preset_series
 
     kinds = {k for k in kind.split(",") if k}
     rows = load_rows(args.csv, kinds, args.driver)
@@ -386,7 +411,7 @@ def main():
             sys.exit("no records with a consumed-phits series")
         x_key, y_key = "cycle", "phits/cycle/server"
     else:
-        facets, series_order = collect_series(rows, x_key, y_key)
+        facets, series_order = collect_series(rows, x_key, y_key, series_key)
         if not facets:
             sys.exit(f"no plottable records (kinds={sorted(kinds)}, "
                      f"x={x_key}, y={y_key})")

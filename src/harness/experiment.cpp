@@ -258,6 +258,74 @@ WorkloadResult Experiment::run_workload(const WorkloadParams& params,
   return res;
 }
 
+MultitenantResult Experiment::run_multitenant(const MultitenantParams& params,
+                                              Cycle bucket_width,
+                                              Cycle max_cycles) {
+  const int sps = hx_->servers_per_switch();
+  Network net(ctx_, *mech_, *traffic_, spec_.sim, sps,
+              rng_.fork(0xE0).next_u64());
+  net.set_step_pool(step_pool_.get());
+  // One build stream, consumed in job order, and the same network-seed
+  // fork as run_workload: a single job spanning the whole fabric gets
+  // byte-identical messages and a byte-identical engine stream to the
+  // legacy workload mode (the golden bridge tests lock this).
+  Rng wl_rng = rng_.fork(0xE1);
+  std::vector<std::vector<Message>> job_msgs;
+  job_msgs.reserve(params.jobs.size());
+  for (const JobSpec& job : params.jobs)
+    job_msgs.push_back(make_workload(job.workload)->build(job.demand, wl_rng));
+  std::vector<std::vector<Message>> baseline_msgs;
+  if (params.isolated_baseline) baseline_msgs = job_msgs;
+
+  TenantScheduler sched(params, std::move(job_msgs), net.num_servers(), sps,
+                        rng_.fork(0xE3));
+
+  MultitenantResult res;
+  res.mechanism = mech_->name();
+  res.placement = params.placement;
+  res.series = TimeSeries(bucket_width);
+  res.num_servers = net.num_servers();
+  res.num_jobs = static_cast<long>(params.jobs.size());
+  net.attach_timeseries(&res.series);
+  sched.start(net);
+  for (Cycle a = sched.next_arrival(); a >= 0 && a <= max_cycles;
+       a = sched.next_arrival()) {
+    if (a > net.now()) net.run_cycles(a - net.now());
+    sched.process_arrivals(net);
+  }
+  const bool net_drained = net.run_until_drained(
+      max_cycles > net.now() ? max_cycles - net.now() : 0);
+  res.drained = net_drained && sched.all_done();
+  res.completion_time = net.now();
+  res.jobs = sched.stats();
+  for (const TenantJobStats& st : res.jobs)
+    res.total_packets += st.total_packets;
+
+  if (params.isolated_baseline) {
+    // Per-job isolated reference: same messages, same concrete placement,
+    // an otherwise empty fabric — the slowdown column is pure
+    // interference, not placement quality.
+    const Rng base_rng = rng_.fork(0xE4);
+    for (std::size_t j = 0; j < res.jobs.size(); ++j) {
+      TenantJobStats& st = res.jobs[j];
+      if (st.admitted < 0) continue;
+      Network alone(ctx_, *mech_, *traffic_, spec_.sim, sps,
+                    base_rng.fork(static_cast<std::uint64_t>(j)).next_u64());
+      alone.set_step_pool(step_pool_.get());
+      WorkloadRun run(baseline_msgs[j]);
+      run.bind(sched.placement_of(static_cast<int>(j)));
+      run.start(alone);
+      alone.run_until_drained(max_cycles);
+      if (!run.complete()) continue;
+      st.isolated_span = alone.now();
+      if (st.completed >= 0 && st.isolated_span > 0)
+        st.slowdown = static_cast<double>(st.completed - st.admitted) /
+                      static_cast<double>(st.isolated_span);
+    }
+  }
+  return res;
+}
+
 DynamicResult Experiment::run_load_dynamic(double offered,
                                            std::vector<FaultEvent> events) {
   std::sort(events.begin(), events.end(),

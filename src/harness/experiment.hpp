@@ -16,6 +16,7 @@
 #include "metrics/timeseries.hpp"
 #include "routing/factory.hpp"
 #include "sim/network.hpp"
+#include "tenant/scheduler.hpp"
 #include "topology/faults.hpp"
 #include "util/thread_pool.hpp"
 #include "workload/workload.hpp"
@@ -131,6 +132,20 @@ struct WorkloadResult {
   ServerId num_servers = 0;    ///< for normalising the series to a rate
 };
 
+/// Result of a multi-tenant shared-fabric run (src/tenant/): the full
+/// per-job SLO table plus fabric-level completion and utilization.
+struct MultitenantResult {
+  std::string mechanism;       ///< display name, e.g. "PolSP"
+  std::string placement;       ///< placement policy name
+  bool drained = false;        ///< every job admitted and completed in time
+  Cycle completion_time = 0;   ///< cycle the fabric finally drained
+  long num_jobs = 0;
+  long total_packets = 0;      ///< summed over all jobs
+  std::vector<TenantJobStats> jobs;  ///< in job order
+  TimeSeries series{1000};     ///< fabric-wide consumed phits per bucket
+  ServerId num_servers = 0;    ///< for normalising the series to a rate
+};
+
 /// Builds and runs simulations for one spec. The topology/table/escape
 /// construction happens once in the constructor; each run_load() spins up
 /// a fresh Network (fresh buffers/rng) over the shared structures.
@@ -159,6 +174,15 @@ class Experiment {
   /// latency tail percentiles.
   WorkloadResult run_workload(const WorkloadParams& params, Cycle bucket_width,
                               Cycle max_cycles);
+
+  /// A multi-tenant shared-fabric run: jobs arrive on a deterministic
+  /// queue, get placed by \p params.placement and run concurrently until
+  /// every job completed or \p max_cycles elapsed (see src/tenant/).
+  /// When params.isolated_baseline is set, each admitted job is also run
+  /// alone on an otherwise empty fabric (same messages, same placement)
+  /// to fill the per-tenant slowdown column.
+  MultitenantResult run_multitenant(const MultitenantParams& params,
+                                    Cycle bucket_width, Cycle max_cycles);
 
   /// Rate-mode run with online fault injection: each event kills a link at
   /// its cycle, the distance tables and escape subnetwork are rebuilt by

@@ -38,8 +38,35 @@ RunnerReport run_manifest(const std::vector<TaskSpec>& tasks,
                        "partial record from %s\n",
                        existing.size() - clean.size(), opts.csv_path.c_str());
       }
+      // A task is complete when its *summary* row is on record. Tenant
+      // rows (kind "tenant") share their parent task's id but are
+      // written before the summary, so a kill mid-group must not mark
+      // the task done — and the orphaned tenant rows of such a group are
+      // purged here so the re-run cannot duplicate them.
       for (const ResultRecord& rec : report.records)
-        if (!rec.task_id.empty()) completed.insert(rec.task_id);
+        if (!rec.task_id.empty() && rec.kind != "tenant")
+          completed.insert(rec.task_id);
+      std::vector<ResultRecord> kept;
+      kept.reserve(report.records.size());
+      for (ResultRecord& rec : report.records) {
+        if (rec.kind == "tenant" && !completed.count(rec.task_id)) continue;
+        kept.push_back(std::move(rec));
+      }
+      if (kept.size() != report.records.size()) {
+        report.records = std::move(kept);
+        std::string rewritten = ResultSink::csv_header();
+        for (const ResultRecord& rec : report.records)
+          rewritten += ResultSink::csv_line(rec);
+        HXSP_CHECK_MSG(write_whole_file(opts.csv_path, rewritten),
+                       "cannot rewrite checkpoint file");
+        if (!opts.quiet)
+          std::fprintf(stderr,
+                       "hxsp_runner: purged tenant rows of an incomplete "
+                       "task group from %s\n",
+                       opts.csv_path.c_str());
+      } else {
+        report.records = std::move(kept);
+      }
     }
   }
 
@@ -72,18 +99,23 @@ RunnerReport run_manifest(const std::vector<TaskSpec>& tasks,
 
   ParallelSweep sweep(opts.jobs);
   sweep.run_tasks(todo, [&](std::size_t i, const TaskResult& result) {
-    ResultRecord rec = make_record(todo[i], result);
+    std::vector<ResultRecord> group = make_records(todo[i], result);
     if (out) {
-      const std::string line = ResultSink::csv_line(rec);
-      HXSP_CHECK_MSG(std::fwrite(line.data(), 1, line.size(), out) ==
-                         line.size(),
+      // The whole group goes out in one append + flush; the summary row
+      // is last, so a kill inside the write leaves only tenant rows,
+      // which the resume path above purges before re-running the task.
+      std::string lines;
+      for (const ResultRecord& rec : group) lines += ResultSink::csv_line(rec);
+      HXSP_CHECK_MSG(std::fwrite(lines.data(), 1, lines.size(), out) ==
+                         lines.size(),
                      "short write to checkpoint file");
       std::fflush(out);
     }
     if (!opts.quiet)
       std::fprintf(stderr, "hxsp_runner: [%zu/%zu] %s done\n", i + 1,
                    todo.size(), todo[i].id.c_str());
-    report.records.push_back(std::move(rec));
+    for (ResultRecord& rec : group)
+      report.records.push_back(std::move(rec));
     ++report.executed;
   });
   if (out) std::fclose(out);

@@ -13,6 +13,7 @@ const char* task_kind_name(TaskKind kind) {
     case TaskKind::kCompletion: return "completion";
     case TaskKind::kDynamic: return "dynamic";
     case TaskKind::kWorkload: return "workload";
+    case TaskKind::kMultitenant: return "multitenant";
   }
   return "?";
 }
@@ -22,6 +23,7 @@ TaskKind task_kind_from_name(const std::string& name) {
   if (name == "completion") return TaskKind::kCompletion;
   if (name == "dynamic") return TaskKind::kDynamic;
   if (name == "workload") return TaskKind::kWorkload;
+  if (name == "multitenant") return TaskKind::kMultitenant;
   HXSP_CHECK_MSG(false, ("unknown task kind: " + name).c_str());
   return TaskKind::kRate;
 }
@@ -66,6 +68,17 @@ TaskSpec TaskSpec::workload(ExperimentSpec spec, WorkloadParams params,
   return t;
 }
 
+TaskSpec TaskSpec::multitenant(ExperimentSpec spec, MultitenantParams params,
+                               Cycle bucket_width, Cycle max_cycles) {
+  TaskSpec t;
+  t.kind = TaskKind::kMultitenant;
+  t.spec = std::move(spec);
+  t.multitenant_params = std::move(params);
+  t.bucket_width = bucket_width;
+  t.max_cycles = max_cycles;
+  return t;
+}
+
 std::string TaskSpec::driver() const {
   const std::size_t slash = id.find('/');
   return slash == std::string::npos ? std::string() : id.substr(0, slash);
@@ -77,10 +90,31 @@ bool operator==(const TaskSpec& a, const TaskSpec& b) {
          a.packets_per_server == b.packets_per_server &&
          a.bucket_width == b.bucket_width && a.max_cycles == b.max_cycles &&
          a.events == b.events && a.workload_params == b.workload_params &&
-         a.label == b.label && a.extra == b.extra;
+         a.multitenant_params == b.multitenant_params && a.label == b.label &&
+         a.extra == b.extra;
 }
 
 namespace {
+
+void workload_params_write_json(JsonWriter& w, const WorkloadParams& p) {
+  w.begin_object();
+  w.key("name").value(p.name);
+  w.key("msg_packets").value(p.msg_packets);
+  w.key("rounds").value(p.rounds);
+  w.key("fanout").value(p.fanout);
+  w.key("trace").value(p.trace);
+  w.end_object();
+}
+
+WorkloadParams workload_params_from_json(const JsonValue& v) {
+  WorkloadParams p;
+  p.name = v.at("name").as_string();
+  p.msg_packets = v.at("msg_packets").as_int();
+  p.rounds = v.at("rounds").as_int();
+  p.fanout = v.at("fanout").as_int();
+  p.trace = v.at("trace").as_string();
+  return p;
+}
 
 void task_write_json(JsonWriter& w, const TaskSpec& t) {
   w.begin_object();
@@ -101,12 +135,22 @@ void task_write_json(JsonWriter& w, const TaskSpec& t) {
     w.end_object();
   }
   w.end_array();
-  w.key("workload").begin_object();
-  w.key("name").value(t.workload_params.name);
-  w.key("msg_packets").value(t.workload_params.msg_packets);
-  w.key("rounds").value(t.workload_params.rounds);
-  w.key("fanout").value(t.workload_params.fanout);
-  w.key("trace").value(t.workload_params.trace);
+  w.key("workload");
+  workload_params_write_json(w, t.workload_params);
+  w.key("multitenant").begin_object();
+  w.key("placement").value(t.multitenant_params.placement);
+  w.key("isolated_baseline").value(t.multitenant_params.isolated_baseline);
+  w.key("jobs").begin_array();
+  for (const JobSpec& j : t.multitenant_params.jobs) {
+    w.begin_object();
+    w.key("demand").value(static_cast<std::int64_t>(j.demand));
+    w.key("arrival").value(static_cast<std::int64_t>(j.arrival));
+    w.key("deadline").value(static_cast<std::int64_t>(j.deadline));
+    w.key("workload");
+    workload_params_write_json(w, j.workload);
+    w.end_object();
+  }
+  w.end_array();
   w.end_object();
   w.key("spec");
   spec_write_json(w, t.spec);
@@ -138,12 +182,22 @@ TaskSpec TaskSpec::from_json(const JsonValue& v) {
     ev.link = static_cast<LinkId>(e.at("link").as_i64());
     t.events.push_back(ev);
   }
-  const JsonValue& wl = v.at("workload");
-  t.workload_params.name = wl.at("name").as_string();
-  t.workload_params.msg_packets = wl.at("msg_packets").as_int();
-  t.workload_params.rounds = wl.at("rounds").as_int();
-  t.workload_params.fanout = wl.at("fanout").as_int();
-  t.workload_params.trace = wl.at("trace").as_string();
+  t.workload_params = workload_params_from_json(v.at("workload"));
+  // Tolerant read: manifests written before the multitenant kind carry no
+  // "multitenant" key and keep the default-constructed params.
+  if (const JsonValue* mt = v.find("multitenant")) {
+    t.multitenant_params.placement = mt->at("placement").as_string();
+    t.multitenant_params.isolated_baseline =
+        mt->at("isolated_baseline").as_bool();
+    for (const JsonValue& jv : mt->at("jobs").array()) {
+      JobSpec j;
+      j.demand = static_cast<ServerId>(jv.at("demand").as_i64());
+      j.arrival = jv.at("arrival").as_i64();
+      j.deadline = jv.at("deadline").as_i64();
+      j.workload = workload_params_from_json(jv.at("workload"));
+      t.multitenant_params.jobs.push_back(std::move(j));
+    }
+  }
   t.spec = spec_from_json(v.at("spec"));
   return t;
 }
@@ -179,7 +233,8 @@ TaskKind task_result_kind(const TaskResult& result) {
     case 0: return TaskKind::kRate;
     case 1: return TaskKind::kCompletion;
     case 2: return TaskKind::kDynamic;
-    default: return TaskKind::kWorkload;
+    case 3: return TaskKind::kWorkload;
+    default: return TaskKind::kMultitenant;
   }
 }
 
@@ -201,6 +256,9 @@ TaskResult run_task(const TaskSpec& task) {
     case TaskKind::kWorkload:
       return e.run_workload(task.workload_params, task.bucket_width,
                             task.max_cycles);
+    case TaskKind::kMultitenant:
+      return e.run_multitenant(task.multitenant_params, task.bucket_width,
+                               task.max_cycles);
     case TaskKind::kRate:
       break;
   }

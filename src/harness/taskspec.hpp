@@ -26,11 +26,11 @@
 namespace hxsp {
 
 /// Which Experiment entry point a TaskSpec runs.
-enum class TaskKind { kRate, kCompletion, kDynamic, kWorkload };
+enum class TaskKind { kRate, kCompletion, kDynamic, kWorkload, kMultitenant };
 
 /// Stable lowercase name for a kind ("rate" / "completion" / "dynamic" /
-/// "workload"); this is also the string ResultSink persists and the JSON
-/// codec emits.
+/// "workload" / "multitenant"); this is also the string ResultSink
+/// persists and the JSON codec emits.
 const char* task_kind_name(TaskKind kind);
 
 /// Inverse of task_kind_name; aborts (HXSP_CHECK) on an unknown name.
@@ -55,6 +55,7 @@ struct TaskSpec {
   Cycle max_cycles = 0;            ///< completion + workload deadline
   std::vector<FaultEvent> events;  ///< dynamic mode (online failures)
   WorkloadParams workload_params;  ///< workload mode (generator + shape)
+  MultitenantParams multitenant_params;  ///< multitenant mode (jobs + policy)
 
   /// Presentation context persisted with the task's ResultRecord. Must be
   /// task-local (derivable from this task alone), never computed from
@@ -76,6 +77,11 @@ struct TaskSpec {
   /// Workload task: Experiment::run_workload(params, bucket, deadline).
   static TaskSpec workload(ExperimentSpec spec, WorkloadParams params,
                            Cycle bucket_width, Cycle max_cycles);
+
+  /// Multi-tenant task: Experiment::run_multitenant(params, bucket,
+  /// deadline).
+  static TaskSpec multitenant(ExperimentSpec spec, MultitenantParams params,
+                              Cycle bucket_width, Cycle max_cycles);
 
   /// The driver component of \ref id ("" when the id has none).
   std::string driver() const;
@@ -101,8 +107,8 @@ std::vector<TaskSpec> manifest_from_json(const std::string& text);
 std::string make_task_id(const std::string& driver, std::size_t index);
 
 /// Tagged result of a TaskSpec; the alternative matches the task's kind.
-using TaskResult =
-    std::variant<ResultRow, CompletionResult, DynamicResult, WorkloadResult>;
+using TaskResult = std::variant<ResultRow, CompletionResult, DynamicResult,
+                                WorkloadResult, MultitenantResult>;
 
 /// Kind of the alternative held by \p result.
 TaskKind task_result_kind(const TaskResult& result);

@@ -406,7 +406,7 @@ void ResultSink::add(ResultRecord rec) {
 }
 
 void ResultSink::add(const TaskSpec& task, const TaskResult& result) {
-  add(make_record(task, result));
+  for (ResultRecord& rec : make_records(task, result)) add(std::move(rec));
 }
 
 ResultRecord make_record(const TaskSpec& task, const TaskResult& result) {
@@ -474,7 +474,69 @@ ResultRecord make_record(const TaskSpec& task, const TaskResult& result) {
     }
     rec.extra = rec.extra.empty() ? add : rec.extra + ";" + add;
   }
+  if (const MultitenantResult* m = std::get_if<MultitenantResult>(&result)) {
+    rec.mechanism = m->mechanism;
+    rec.pattern = m->placement;  // the placement policy identifies the config
+    rec.drained = m->drained;
+    rec.completion_time = static_cast<std::int64_t>(m->completion_time);
+    rec.num_servers = static_cast<std::int64_t>(m->num_servers);
+    rec.packets = m->total_packets;
+    rec.series_width = static_cast<std::int64_t>(m->series.width());
+    for (std::size_t b = 0; b < m->series.num_buckets(); ++b)
+      rec.series.push_back(m->series.bucket(b));
+    const std::string add =
+        "placement=" + m->placement + ";jobs=" + std::to_string(m->num_jobs);
+    rec.extra = rec.extra.empty() ? add : rec.extra + ";" + add;
+  }
   return rec;
+}
+
+std::vector<ResultRecord> make_records(const TaskSpec& task,
+                                       const TaskResult& result) {
+  std::vector<ResultRecord> group;
+  const MultitenantResult* m = std::get_if<MultitenantResult>(&result);
+  if (m == nullptr) {
+    group.push_back(make_record(task, result));
+    return group;
+  }
+  group.reserve(m->jobs.size() + 1);
+  for (const TenantJobStats& st : m->jobs) {
+    ResultRecord rec;
+    rec.driver = task.driver();
+    rec.task_id = task.id;
+    rec.kind = "tenant";
+    rec.label = task.label;
+    rec.seed = task.spec.seed;
+    rec.mechanism = m->mechanism;
+    rec.pattern = st.workload;  // the workload name identifies the traffic
+    rec.drained = st.completed >= 0;
+    rec.completion_time = static_cast<std::int64_t>(st.completed);
+    rec.num_servers = static_cast<std::int64_t>(st.demand);
+    rec.packets = st.total_packets;
+    rec.avg_latency = st.avg_msg_latency;  // message latency, not packet
+    rec.p99_latency = static_cast<std::int64_t>(st.p99_msg_latency);
+    rec.cycles = static_cast<std::int64_t>(st.span());
+    const char* deadline = st.deadline == 0       ? "none"
+                           : st.deadline_met()    ? "met"
+                                                  : "miss";
+    const std::string add =
+        "placement=" + m->placement + ";job=" + std::to_string(st.job) +
+        ";demand=" + fmt_i64(st.demand) + ";arrival=" + fmt_i64(st.arrival) +
+        ";admitted=" + fmt_i64(st.admitted) +
+        ";queue_wait=" + fmt_i64(st.queue_wait()) +
+        ";span=" + fmt_i64(st.span()) +
+        ";isolated=" + fmt_i64(st.isolated_span) +
+        ";slowdown=" + fmt_double(st.slowdown) +
+        ";p50_msg=" + fmt_i64(st.p50_msg_latency) +
+        ";messages=" + std::to_string(st.num_messages) +
+        ";deadline=" + deadline;
+    rec.extra = task.extra.empty() ? add : task.extra + ";" + add;
+    group.push_back(std::move(rec));
+  }
+  // The fabric summary comes last: a checkpoint row of this kind is the
+  // proof the whole group made it to disk.
+  group.push_back(make_record(task, result));
+  return group;
 }
 
 void ResultSink::add_row(const ResultRow& row, std::uint64_t seed,

@@ -79,8 +79,21 @@ inline bool operator!=(const ResultRecord& a, const ResultRecord& b) {
 /// label/extra come from the task (driver from its id prefix), kind/
 /// mechanism/pattern/offered/seed and the scalars from the task and its
 /// result. A pure function of its arguments — the reason an hxsp_runner
-/// shard and the in-process driver produce identical rows.
+/// shard and the in-process driver produce identical rows. For a
+/// multitenant task this is the fabric-level summary row only; the full
+/// group comes from make_records().
 ResultRecord make_record(const TaskSpec& task, const TaskResult& result);
+
+/// The complete row group a task persists. One record for every classic
+/// kind; a multitenant task expands to one kind="tenant" row per job (in
+/// job order, each carrying that tenant's SLO numbers in the shared
+/// columns plus key=value extras) followed by the kind="multitenant"
+/// fabric summary row. Every row in a group shares the task's id — and
+/// the summary row is written *last*, which is what lets a checkpoint
+/// treat "a non-tenant row with this id exists" as the task-complete
+/// marker (see run_manifest).
+std::vector<ResultRecord> make_records(const TaskSpec& task,
+                                       const TaskResult& result);
 
 /// Collects ResultRecords for one driver and serializes them. The CSV
 /// and JSON carry exactly the same records; parse_csv/parse_json invert
@@ -97,7 +110,8 @@ class ResultSink {
   /// this sink's driver name so one driver cannot impersonate another.
   void add(ResultRecord rec);
 
-  /// Appends make_record(task, result) (driver name still this sink's).
+  /// Appends make_records(task, result) — the task's whole row group
+  /// (driver names still this sink's).
   void add(const TaskSpec& task, const TaskResult& result);
 
   /// Appends a bare rate row (for drivers with a ResultRow but no task).

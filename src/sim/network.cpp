@@ -51,10 +51,10 @@ void Network::set_completion_load(long packets) {
   completion_outstanding_ = packets * static_cast<long>(servers_.size());
 }
 
-void Network::enter_workload_mode(WorkloadRun* run, long outstanding) {
-  HXSP_CHECK(run != nullptr && outstanding >= 0);
+void Network::enter_workload_mode(MessageSource* source, long outstanding) {
+  HXSP_CHECK(source != nullptr && outstanding >= 0);
   for (auto& s : servers_) s.set_workload();
-  workload_ = run;
+  workload_ = source;
   completion_outstanding_ = outstanding;
 }
 

@@ -33,8 +33,8 @@
 
 namespace hxsp {
 
-class ThreadPool;  // util/thread_pool.hpp
-class WorkloadRun; // workload/run.hpp
+class ThreadPool;    // util/thread_pool.hpp
+class MessageSource; // workload/run.hpp
 
 /// Inserts \p x into sorted \p v (no duplicates expected). Shared by the
 /// engine's active-set lists: network-level router ids and router-level
@@ -93,14 +93,23 @@ class Network {
   void set_completion_load(long packets);
 
   /// Workload (message-queue) mode: every server injects only packets of
-  /// Messages released by \p run, which stays attached for the rest of
+  /// Messages released by \p source, which stays attached for the rest of
   /// the simulation; \p outstanding is the total packet budget (drained
   /// when generated and consumed, exactly like completion mode). Called
-  /// by WorkloadRun::start.
-  void enter_workload_mode(WorkloadRun* run, long outstanding);
+  /// by WorkloadRun::start and TenantScheduler::start.
+  void enter_workload_mode(MessageSource* source, long outstanding);
 
-  /// The attached workload run (null in rate/completion modes).
-  WorkloadRun* workload() { return workload_; }
+  /// Extends the workload-mode packet budget: a message source admitted
+  /// more work (WorkloadRun::launch on a scheduler admission). Safe to
+  /// call from inside a Consume callback — the budget grows before
+  /// run_until_drained's next drain check.
+  void add_workload_outstanding(long packets) {
+    HXSP_DCHECK(workload_ != nullptr && packets >= 0);
+    completion_outstanding_ += packets;
+  }
+
+  /// The attached message source (null in rate/completion modes).
+  MessageSource* workload() { return workload_; }
 
   /// Advances the simulation \p n cycles.
   void run_cycles(Cycle n);
@@ -265,7 +274,7 @@ class Network {
   SimMetrics metrics_;
   LinkStats link_stats_;
   TimeSeries* timeseries_ = nullptr;
-  WorkloadRun* workload_ = nullptr;
+  MessageSource* workload_ = nullptr;
   ThreadPool* step_pool_ = nullptr; ///< borrowed; null = serial stepping
 
   Cycle now_ = 0;

@@ -59,7 +59,7 @@ void Server::completion_refill(Network& net, Cycle now) {
 }
 
 void Server::workload_refill(Network& net, Cycle now) {
-  WorkloadRun* wl = net.workload();
+  MessageSource* wl = net.workload();
   HXSP_DCHECK(wl != nullptr);
   while (queue_.size() < queue_capacity_) {
     if (wl_left_ == 0) {

@@ -1,0 +1,151 @@
+#include "tenant/placement.hpp"
+
+#include "util/check.hpp"
+
+namespace hxsp {
+
+PlacementMap::PlacementMap(ServerId num_servers, int servers_per_switch)
+    : owner_(static_cast<std::size_t>(num_servers), kInvalid),
+      servers_per_switch_(servers_per_switch), free_count_(num_servers) {
+  HXSP_CHECK(num_servers > 0 && servers_per_switch > 0);
+  HXSP_CHECK_MSG(num_servers % servers_per_switch == 0,
+                 "num_servers must be a whole number of switches");
+}
+
+void PlacementMap::assign(std::int32_t job, const std::vector<ServerId>& servers) {
+  HXSP_CHECK(job >= 0);
+  for (ServerId v : servers) {
+    HXSP_CHECK_MSG(v >= 0 && v < num_servers(), "placement out of range");
+    HXSP_CHECK_MSG(owner_[static_cast<std::size_t>(v)] == kInvalid,
+                   "placement not disjoint");
+    owner_[static_cast<std::size_t>(v)] = job;
+  }
+  free_count_ -= static_cast<ServerId>(servers.size());
+}
+
+void PlacementMap::release(std::int32_t job, const std::vector<ServerId>& servers) {
+  for (ServerId v : servers) {
+    HXSP_CHECK_MSG(v >= 0 && v < num_servers(), "release out of range");
+    HXSP_CHECK_MSG(owner_[static_cast<std::size_t>(v)] == job,
+                   "release of a server this job does not own");
+    owner_[static_cast<std::size_t>(v)] = kInvalid;
+  }
+  free_count_ += static_cast<ServerId>(servers.size());
+}
+
+namespace {
+
+/// Contiguous dimension-aligned slabs: a run of ceil(demand/sps) whole
+/// adjacent switches, every server of which is free. Aligned starts
+/// (multiples of the block width) are tried first — in row-major switch
+/// numbering those blocks are lowest-dimension subcube slices — then any
+/// start, then the job waits.
+class ContiguousPlacement : public PlacementPolicy {
+ public:
+  std::string name() const override { return "contiguous"; }
+
+  std::vector<ServerId> place(const PlacementMap& map, ServerId demand,
+                              Rng& /*rng*/) const override {
+    const int sps = map.servers_per_switch();
+    const SwitchId width =
+        static_cast<SwitchId>((demand + sps - 1) / sps);
+    const SwitchId nsw = map.num_switches();
+    SwitchId start = kInvalid;
+    for (SwitchId s = 0; s + width <= nsw && start == kInvalid; s += width)
+      if (block_free(map, s, width)) start = s;
+    for (SwitchId s = 0; s + width <= nsw && start == kInvalid; ++s)
+      if (block_free(map, s, width)) start = s;
+    if (start == kInvalid) return {};
+    std::vector<ServerId> out;
+    out.reserve(static_cast<std::size_t>(demand));
+    for (ServerId v = start * sps; static_cast<ServerId>(out.size()) < demand;
+         ++v)
+      out.push_back(v);
+    return out;
+  }
+
+ private:
+  static bool block_free(const PlacementMap& map, SwitchId start,
+                         SwitchId width) {
+    const int sps = map.servers_per_switch();
+    for (ServerId v = start * sps; v < (start + width) * sps; ++v)
+      if (!map.is_free(v)) return false;
+    return true;
+  }
+};
+
+/// Round-robin striping: sweep the switches in order, taking the lowest
+/// free server of each visited switch, wrapping until the demand is met.
+/// The binding keeps stripe order, so logical neighbours land on
+/// different switches.
+class StripedPlacement : public PlacementPolicy {
+ public:
+  std::string name() const override { return "striped"; }
+
+  std::vector<ServerId> place(const PlacementMap& map, ServerId demand,
+                              Rng& /*rng*/) const override {
+    if (map.free_count() < demand) return {};
+    const int sps = map.servers_per_switch();
+    const SwitchId nsw = map.num_switches();
+    // Next local index to probe per switch, so each wrap resumes where
+    // the previous visit stopped instead of rescanning claimed servers.
+    std::vector<int> next(static_cast<std::size_t>(nsw), 0);
+    std::vector<ServerId> out;
+    out.reserve(static_cast<std::size_t>(demand));
+    while (static_cast<ServerId>(out.size()) < demand) {
+      for (SwitchId s = 0; s < nsw && static_cast<ServerId>(out.size()) < demand;
+           ++s) {
+        int& l = next[static_cast<std::size_t>(s)];
+        while (l < sps && !map.is_free(static_cast<ServerId>(s) * sps + l))
+          ++l;
+        if (l < sps) out.push_back(static_cast<ServerId>(s) * sps + l++);
+      }
+    }
+    return out;
+  }
+};
+
+/// Uniform random scatter: a partial Fisher-Yates over the ascending
+/// free-server list. Exactly `demand` draws, all after the fits check,
+/// so the caller's stream advances only on successful placements.
+class RandomPlacement : public PlacementPolicy {
+ public:
+  std::string name() const override { return "random"; }
+
+  std::vector<ServerId> place(const PlacementMap& map, ServerId demand,
+                              Rng& rng) const override {
+    if (map.free_count() < demand) return {};
+    std::vector<ServerId> free;
+    free.reserve(static_cast<std::size_t>(map.free_count()));
+    for (ServerId v = 0; v < map.num_servers(); ++v)
+      if (map.is_free(v)) free.push_back(v);
+    std::vector<ServerId> out;
+    out.reserve(static_cast<std::size_t>(demand));
+    for (ServerId i = 0; i < demand; ++i) {
+      const std::size_t j =
+          static_cast<std::size_t>(i) +
+          static_cast<std::size_t>(rng.next_below(
+              static_cast<std::uint64_t>(free.size()) -
+              static_cast<std::uint64_t>(i)));
+      std::swap(free[static_cast<std::size_t>(i)], free[j]);
+      out.push_back(free[static_cast<std::size_t>(i)]);
+    }
+    return out;
+  }
+};
+
+} // namespace
+
+std::unique_ptr<PlacementPolicy> make_placement(const std::string& name) {
+  if (name == "contiguous") return std::make_unique<ContiguousPlacement>();
+  if (name == "striped") return std::make_unique<StripedPlacement>();
+  if (name == "random") return std::make_unique<RandomPlacement>();
+  HXSP_CHECK_MSG(false, "unknown placement policy");
+  return nullptr;
+}
+
+std::vector<std::string> placement_names() {
+  return {"contiguous", "striped", "random"};
+}
+
+} // namespace hxsp

@@ -1,0 +1,89 @@
+#pragma once
+/// \file placement.hpp
+/// Job placement onto a shared fabric: PlacementMap tracks which tenant
+/// owns every server and enforces disjointness; PlacementPolicy maps a
+/// job's server demand onto concrete free server ids.
+///
+/// Three policies (the classic placement spectrum, cf. "Resource
+/// Allocation in HyperX Networks", PAPERS.md):
+///  - "contiguous": dimension-aligned slabs — a block of whole adjacent
+///    switches, preferring starts aligned to the block width, so a
+///    tenant's traffic stays inside a compact subcube. Can fail on a
+///    fragmented fabric even when enough servers are free.
+///  - "striped": round-robin over switches, one server per visit — the
+///    tenant spreads across the whole fabric, maximizing its bisection
+///    but also its exposure to everyone else's faults and congestion.
+///  - "random": uniform scatter over the free servers, drawn from the
+///    caller's RNG stream (the only policy that consumes randomness).
+///
+/// Every policy is a pure function of the map state (+ RNG for random),
+/// so placement is exactly as deterministic as the rest of the engine.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace hxsp {
+
+/// Ownership ledger of a shared fabric: server id -> owning job (or
+/// free). assign/release HXSP_CHECK disjointness — double-assignment or
+/// releasing someone else's server aborts, which is what keeps any
+/// placement-policy bug loud.
+class PlacementMap {
+ public:
+  PlacementMap(ServerId num_servers, int servers_per_switch);
+
+  /// Claims every server in \p servers for \p job. Aborts unless all are
+  /// in range, currently free, and listed at most once.
+  void assign(std::int32_t job, const std::vector<ServerId>& servers);
+
+  /// Frees every server in \p servers; each must currently belong to
+  /// \p job.
+  void release(std::int32_t job, const std::vector<ServerId>& servers);
+
+  bool is_free(ServerId v) const {
+    return owner_[static_cast<std::size_t>(v)] == kInvalid;
+  }
+  /// Owning job of \p v, or kInvalid when free.
+  std::int32_t owner(ServerId v) const {
+    return owner_[static_cast<std::size_t>(v)];
+  }
+  ServerId free_count() const { return free_count_; }
+  ServerId num_servers() const { return static_cast<ServerId>(owner_.size()); }
+  int servers_per_switch() const { return servers_per_switch_; }
+  SwitchId num_switches() const {
+    return num_servers() / servers_per_switch_;
+  }
+
+ private:
+  std::vector<std::int32_t> owner_; ///< kInvalid = free
+  int servers_per_switch_;
+  ServerId free_count_;
+};
+
+/// A placement decision: \p demand concrete server ids for one job, or
+/// empty when the job does not fit under this policy right now. The
+/// returned order is the job's logical->fabric binding (logical server i
+/// = result[i]), so policies choose locality by construction.
+class PlacementPolicy {
+ public:
+  virtual ~PlacementPolicy() = default;
+  virtual std::string name() const = 0;
+
+  /// Never mutates \p map (the scheduler assigns on admission); draws
+  /// from \p rng only if the policy is randomized, and only when the
+  /// placement succeeds, so failed attempts never shift the stream.
+  virtual std::vector<ServerId> place(const PlacementMap& map, ServerId demand,
+                                      Rng& rng) const = 0;
+};
+
+/// Factory over the policy names above; aborts on an unknown name.
+std::unique_ptr<PlacementPolicy> make_placement(const std::string& name);
+
+/// Every name make_placement accepts, in canonical sweep order.
+std::vector<std::string> placement_names();
+
+} // namespace hxsp

@@ -25,16 +25,27 @@ WorkloadRun::WorkloadRun(std::vector<Message> msgs) : msgs_(std::move(msgs)) {
   latencies_.reserve(n);
 }
 
-void WorkloadRun::release(std::int32_t m, Cycle now, Network& net) {
-  HXSP_DCHECK(released_[static_cast<std::size_t>(m)] < 0);
-  released_[static_cast<std::size_t>(m)] = now;
-  net.server(msgs_[static_cast<std::size_t>(m)].src).workload_push(m);
+void WorkloadRun::bind(std::vector<ServerId> servers) {
+  HXSP_CHECK_MSG(!started_, "WorkloadRun::bind after start");
+  for (const Message& m : msgs_) {
+    HXSP_CHECK_MSG(static_cast<std::size_t>(m.src) < servers.size() &&
+                       static_cast<std::size_t>(m.dst) < servers.size(),
+                   "WorkloadRun::bind smaller than the message list's span");
+  }
+  binding_ = std::move(servers);
 }
 
-void WorkloadRun::start(Network& net) {
-  HXSP_CHECK_MSG(!started_, "WorkloadRun::start called twice");
-  started_ = true;
-  net.enter_workload_mode(this, total_packets_);
+void WorkloadRun::release(std::int32_t m, Cycle now, Network& net) {
+  const std::size_t mi = static_cast<std::size_t>(m);
+  HXSP_DCHECK(released_[mi] < 0);
+  released_[mi] = now;
+  const ServerId src =
+      binding_.empty() ? msgs_[mi].src
+                       : binding_[static_cast<std::size_t>(msgs_[mi].src)];
+  net.server(src).workload_push(msg_base_ + m);
+}
+
+void WorkloadRun::release_roots(Network& net) {
   // A phase with no messages (a numbering gap in a trace) is vacuously
   // complete at the start cycle — it must not read as "never finished"
   // (-1) in the results of a fully drained run.
@@ -47,8 +58,22 @@ void WorkloadRun::start(Network& net) {
       release(static_cast<std::int32_t>(i), net.now(), net);
 }
 
+void WorkloadRun::start(Network& net) {
+  HXSP_CHECK_MSG(!started_, "WorkloadRun::start called twice");
+  started_ = true;
+  net.enter_workload_mode(this, total_packets_);
+  release_roots(net);
+}
+
+void WorkloadRun::launch(Network& net) {
+  HXSP_CHECK_MSG(!started_, "WorkloadRun::launch called twice");
+  started_ = true;
+  net.add_workload_outstanding(total_packets_);
+  release_roots(net);
+}
+
 void WorkloadRun::on_packet_consumed(std::int32_t m, Cycle now, Network& net) {
-  const std::size_t mi = static_cast<std::size_t>(m);
+  const std::size_t mi = static_cast<std::size_t>(m - msg_base_);
   HXSP_DCHECK(remaining_[mi] > 0);
   if (--remaining_[mi] > 0) return;
 

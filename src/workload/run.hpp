@@ -1,21 +1,34 @@
 #pragma once
 /// \file run.hpp
-/// WorkloadRun — the engine-side message state machine.
+/// MessageSource — the engine's message-mode callback interface — and
+/// WorkloadRun, the per-job message state machine implementing it.
 ///
-/// Binds one built Message list to one Network for one simulation:
-/// tracks per-message dependency counts and remaining packets, releases
-/// a message into its source server's ready queue the moment its last
-/// dependency completes (a completion callback chain riding the
-/// engine's Consume events), and records the completion cycle of every
-/// message and phase. Servers in workload mode (Server::set_workload)
-/// pull eligible messages FIFO and inject their packets as fast as the
-/// injection queue drains; every consumed packet is attributed back to
-/// its message through the `msg` id it carries.
+/// A WorkloadRun binds one built Message list to one Network for one
+/// simulation: tracks per-message dependency counts and remaining
+/// packets, releases a message into its source server's ready queue the
+/// moment its last dependency completes (a completion callback chain
+/// riding the engine's Consume events), and records the completion cycle
+/// of every message and phase. Servers in workload mode
+/// (Server::set_workload) pull eligible messages FIFO and inject their
+/// packets as fast as the injection queue drains; every consumed packet
+/// is attributed back to its message through the `msg` id it carries.
+///
+/// Two extensions serve the multi-tenant scheduler (src/tenant/):
+///  - bind(): restricts a run to a concrete subset of servers. The
+///    Message list stays *logical* (src/dst in [0, demand)); the binding
+///    maps logical ids to fabric server ids at release/refill time, so a
+///    job built for n servers runs unchanged on any n-server placement
+///    and non-member servers see none of it (and draw zero RNG).
+///  - set_msg_base(): offsets the message ids carried by packets, so
+///    several concurrently-running jobs share one global id space and a
+///    scheduler-level MessageSource can route consumptions back to the
+///    owning run.
 ///
 /// All hooks run on the simulation thread at deterministic points
 /// (event processing, generation phase), so a workload run is exactly
 /// as reproducible as the rate/completion modes it sits beside.
 
+#include <cstdint>
 #include <vector>
 
 #include "util/types.hpp"
@@ -25,32 +38,70 @@ namespace hxsp {
 
 class Network;
 
-class WorkloadRun {
+/// The engine's view of message-queue mode: destination/size lookups for
+/// the server refill path and the consumption callback. Implemented by
+/// WorkloadRun (one job spanning the fabric) and TenantScheduler (many
+/// placed jobs sharing it). Message ids are *global*: whatever id space
+/// the attached source hands out via server ready queues is what packets
+/// carry and what these hooks receive back.
+class MessageSource {
  public:
-  /// \p msgs must be validated (validate_workload) against the network
-  /// it will be started on.
+  virtual ~MessageSource() = default;
+
+  /// Destination server / packet count of message \p m (Server refill).
+  virtual ServerId msg_dst(std::int32_t m) const = 0;
+  virtual int msg_packets(std::int32_t m) const = 0;
+
+  /// One packet of message \p m was consumed at its destination at cycle
+  /// \p now. May release further messages and extend the network's
+  /// outstanding-packet budget (admissions).
+  virtual void on_packet_consumed(std::int32_t m, Cycle now, Network& net) = 0;
+};
+
+class WorkloadRun : public MessageSource {
+ public:
+  /// \p msgs must be validated (validate_workload) against the server
+  /// count it will run on — the fabric size when unbound, the binding
+  /// size otherwise.
   explicit WorkloadRun(std::vector<Message> msgs);
+
+  /// Restricts the run to concrete servers: logical server i of the
+  /// Message list becomes fabric server \p servers[i]. Call before
+  /// start()/launch(). An empty binding (the default) is the identity
+  /// over the whole fabric.
+  void bind(std::vector<ServerId> servers);
+
+  /// Offsets the global message ids this run hands to the engine: logical
+  /// message m rides packets as base + m. Call before start()/launch().
+  void set_msg_base(std::int32_t base) { msg_base_ = base; }
 
   /// Puts every server of \p net into workload mode, attaches this run
   /// to the network, and releases all dependency-free messages (in
-  /// message order) at the network's current cycle. Call once.
+  /// message order) at the network's current cycle. Call once. The
+  /// single-job entry point — a scheduler-managed run uses launch().
   void start(Network& net);
 
-  // --- engine hooks --------------------------------------------------------
+  /// Scheduler-managed start: releases the dependency-free messages and
+  /// adds this run's packet budget to the network's outstanding count,
+  /// without touching server modes or the network's source attachment
+  /// (the TenantScheduler owns both). Call once, at the admission cycle.
+  void launch(Network& net);
 
-  /// Destination server / packet count of message \p m (Server refill).
-  ServerId msg_dst(std::int32_t m) const {
-    return msgs_[static_cast<std::size_t>(m)].dst;
+  // --- engine hooks (MessageSource) ----------------------------------------
+
+  ServerId msg_dst(std::int32_t m) const override {
+    const Message& msg = msgs_[static_cast<std::size_t>(m - msg_base_)];
+    return binding_.empty() ? msg.dst
+                            : binding_[static_cast<std::size_t>(msg.dst)];
   }
-  int msg_packets(std::int32_t m) const {
-    return msgs_[static_cast<std::size_t>(m)].packets;
+  int msg_packets(std::int32_t m) const override {
+    return msgs_[static_cast<std::size_t>(m - msg_base_)].packets;
   }
 
-  /// One packet of message \p m was consumed at its destination at cycle
-  /// \p now. Completes the message when it was the last packet, which may
+  /// Completes the message when \p m's last packet is consumed, which may
   /// complete its phase and release dependent messages into their source
   /// servers' ready queues.
-  void on_packet_consumed(std::int32_t m, Cycle now, Network& net);
+  void on_packet_consumed(std::int32_t m, Cycle now, Network& net) override;
 
   // --- results -------------------------------------------------------------
 
@@ -68,17 +119,20 @@ class WorkloadRun {
 
  private:
   void release(std::int32_t m, Cycle now, Network& net);
+  void release_roots(Network& net);
 
   std::vector<Message> msgs_;
-  std::vector<std::int32_t> pending_deps_;          ///< unmet deps per message
+  std::vector<ServerId> binding_;            ///< logical -> fabric server ids
+  std::vector<std::int32_t> pending_deps_;   ///< unmet deps per message
   std::vector<std::vector<std::int32_t>> dependents_;
-  std::vector<std::int32_t> remaining_;             ///< packets to consume
-  std::vector<Cycle> released_;                     ///< -1 until released
+  std::vector<std::int32_t> remaining_;      ///< packets to consume
+  std::vector<Cycle> released_;              ///< -1 until released
   std::vector<std::int32_t> phase_outstanding_;
   std::vector<Cycle> phase_done_;
   std::vector<Cycle> latencies_;
   std::size_t completed_count_ = 0;
   long total_packets_ = 0;
+  std::int32_t msg_base_ = 0;
   bool started_ = false;
 };
 

@@ -308,9 +308,11 @@ TEST(TaskSpecs, MixedRepeatedRunsAreIdentical) {
                          std::get<DynamicResult>(second[i]), "repeat dynamic");
         break;
       case TaskKind::kWorkload:
-        // mixed_tasks() has no workload task; the workload kind's
-        // repeat/worker-count identity lives in tests/workload_test.cpp.
-        FAIL() << "unexpected workload task in mixed grid";
+      case TaskKind::kMultitenant:
+        // mixed_tasks() has neither; those kinds' repeat/worker-count
+        // identity lives in tests/workload_test.cpp and
+        // tests/tenant_test.cpp.
+        FAIL() << "unexpected workload/multitenant task in mixed grid";
         break;
     }
   }
