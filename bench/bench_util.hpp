@@ -31,12 +31,15 @@
 namespace hxsp::bench {
 
 /// The option block shared by every driver and example: --jobs=N worker
-/// count (0 = hardware concurrency, 1 = serial), --shard=i/n grid slice,
+/// count (0 = hardware concurrency, 1 = serial), --step-threads=N
+/// deterministic intra-run step-pool workers per simulation (0 = serial
+/// stepping; any value is bit-identical), --shard=i/n grid slice,
 /// --emit-tasks[=file] manifest emission, plus registration of the
 /// --csv/--json/--seed keys so warn_unknown() (called here, last) knows
 /// them. Construct AFTER all driver-specific option reads.
 struct CommonOptions {
   int jobs = 0;
+  int step_threads = 0;
   ShardSpec shard;
   bool emit_tasks = false;
   std::string emit_path;  ///< "" = stdout
@@ -46,6 +49,7 @@ struct CommonOptions {
     opt.has("json");
     opt.has("seed");
     jobs = static_cast<int>(opt.get_int("jobs", 0));
+    step_threads = static_cast<int>(opt.get_int("step-threads", 0));
     shard = ShardSpec::parse(opt.get("shard", "0/1"));
     emit_tasks = opt.has("emit-tasks");
     emit_path = opt.get("emit-tasks", "");
@@ -110,7 +114,7 @@ inline void run_grid(
   ParallelSweep sweep(common.jobs);
   sweep.map<TaskResult>(
       picked.size(),
-      [&](std::size_t i) { return run_task(grid[picked[i]]); },
+      [&](std::size_t i) { return run_task(grid[picked[i]], common.step_threads); },
       [&](std::size_t i, const TaskResult& result) {
         sink.add(grid[picked[i]], result);
         if (on_result) on_result(picked[i], grid[picked[i]], result);

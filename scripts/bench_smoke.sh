@@ -91,6 +91,28 @@ else
   echo "SKIP    invariant audit (fig06 driver or baseline CSV missing)"
 fi
 
+# Intra-run step-pool smoke (see Network::set_step_pool): re-run the
+# workload grid with --step-threads=2 — candidate precompute, link-phase
+# collect and sharded event application all fan out across the pool —
+# and require the CSV byte-identical to the serial-step run above. This
+# is the driver-level check of the "bit-identical at every thread count"
+# engine contract, on a task kind that exercises Consume callbacks.
+if [[ -x "$BUILD_DIR/ext_workloads" && -s "$WORK_DIR/ext_workloads.csv" ]]; then
+  if "$BUILD_DIR/ext_workloads" --side=4 --sps=1 --msg-packets=2 \
+       --fault-fracs=0,0.05 --bucket=500 --jobs=2 --step-threads=2 \
+       --csv="$WORK_DIR/ext_workloads_sp.csv" \
+       > "$WORK_DIR/ext_workloads_sp.out" 2>&1 &&
+     cmp -s "$WORK_DIR/ext_workloads_sp.csv" "$WORK_DIR/ext_workloads.csv"; then
+    echo "OK      step pool (--step-threads=2, CSV identical to serial step)"
+  else
+    echo "FAIL    step pool (--step-threads=2)"
+    tail -5 "$WORK_DIR/ext_workloads_sp.out"
+    FAILED=1
+  fi
+else
+  echo "SKIP    step pool (ext_workloads driver or baseline CSV missing)"
+fi
+
 # Trace replay end to end: generate a JSONL trace with make_trace.py,
 # emit a workload-task manifest referencing it, and replay it through
 # hxsp_runner — the whole "record somewhere, replay here" pipeline.

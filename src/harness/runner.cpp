@@ -117,7 +117,7 @@ RunnerReport run_manifest(const std::vector<TaskSpec>& tasks,
     for (ResultRecord& rec : group)
       report.records.push_back(std::move(rec));
     ++report.executed;
-  });
+  }, opts.step_threads);
   if (out) std::fclose(out);
 
   if (!opts.json_path.empty())

@@ -25,6 +25,9 @@ namespace hxsp {
 
 struct RunnerOptions {
   int jobs = 0;               ///< ParallelSweep workers (0 = hardware)
+  int step_threads = 0;       ///< intra-run step-pool workers per task
+                              ///< (0 = serial stepping; any value is
+                              ///< bit-identical by the engine contract)
   ShardSpec shard;            ///< slice of the manifest to run
   std::string csv_path;       ///< checkpoint + CSV output ("" = in-memory)
   std::string json_path;      ///< JSON output, written on completion ("")

@@ -20,9 +20,13 @@ std::vector<ResultRow> ParallelSweep::run(
 
 std::vector<TaskResult> ParallelSweep::run_tasks(
     const std::vector<TaskSpec>& tasks,
-    const std::function<void(std::size_t, const TaskResult&)>& on_result) {
+    const std::function<void(std::size_t, const TaskResult&)>& on_result,
+    int step_threads) {
   return map<TaskResult>(
-      tasks.size(), [&tasks](std::size_t i) { return run_task(tasks[i]); },
+      tasks.size(),
+      [&tasks, step_threads](std::size_t i) {
+        return run_task(tasks[i], step_threads);
+      },
       on_result);
 }
 

@@ -67,9 +67,14 @@ class ParallelSweep {
 
   /// Runs every task (any mix of kinds); result i holds tasks[i]'s
   /// TaskResult. Ordering and exception semantics are exactly run()'s.
+  /// \p step_threads > 0 gives every task's Network its own deterministic
+  /// intra-run step pool of that many workers (see run_task) — sweep
+  /// parallelism across tasks and step parallelism within one compose
+  /// freely, and neither changes a byte of output.
   std::vector<TaskResult> run_tasks(
       const std::vector<TaskSpec>& tasks,
-      const std::function<void(std::size_t, const TaskResult&)>& on_result = {});
+      const std::function<void(std::size_t, const TaskResult&)>& on_result = {},
+      int step_threads = 0);
 
   /// Deterministic ordered parallel map: evaluates fn(0) .. fn(n-1) on
   /// the pool and returns the results indexed by input. \p on_result is

@@ -121,6 +121,10 @@ const ResultRow* task_result_row(const TaskResult& result);
 /// Runs one task of any kind to completion on a fresh Experiment; the
 /// serial reference for the parallel engine's bit-identity contract and
 /// exactly what every worker (in-process or hxsp_runner) executes.
-TaskResult run_task(const TaskSpec& task);
+/// \p step_threads > 0 attaches a deterministic intra-run step pool of
+/// that many workers to the task's Network (Experiment::set_step_threads)
+/// — an execution knob, never serialized into manifests, because every
+/// value produces bit-identical results by the engine's contract.
+TaskResult run_task(const TaskSpec& task, int step_threads = 0);
 
 } // namespace hxsp

@@ -149,8 +149,11 @@ void Network::run_audit() const {
       servers_.size(),
       std::vector<long>(static_cast<std::size_t>(num_vcs), 0));
   long pending_consume = 0;
+  // The wheel's slots are an opaque FIFO abstraction (pooled chunk rings
+  // since the PR 9 flattening); the ledger iterates them through
+  // for_each, so it stays exact whatever the storage layout.
   for (const auto& slot : wheel_) {
-    for (const Event& ev : slot) {
+    slot.for_each([&](const Event& ev) {
       switch (ev.kind) {
         case Event::Kind::CreditRouter:
           credit_inflight[static_cast<std::size_t>(ev.a)]
@@ -174,6 +177,9 @@ void Network::run_audit() const {
           const Router& r = routers_[static_cast<std::size_t>(sw)];
           const Port port = r.first_server_port() +
                             static_cast<Port>(ev.a % servers_per_switch_);
+          HXSP_CHECK_MSG(ev.port == port,
+                         "audit: consume event's cached eject port drifted "
+                         "from its destination server");
           credit_inflight[static_cast<std::size_t>(sw)]
                          [r.vc_index(port, ev.vc)] += len;
           break;
@@ -183,8 +189,23 @@ void Network::run_audit() const {
           // until this fires; the ledger moves only at fire time.
           break;
       }
-    }
+    });
   }
+
+  // --- parallel-step staging buffers ---------------------------------------
+  // Both staging areas live only inside one phase of one step: the link
+  // stages between collect and commit, the sharded-credit array between
+  // the worker scan and the serial pass. At any cycle boundary (where
+  // the audit runs) they must be fully drained — a staged-but-uncommitted
+  // item here would be a packet or credit missing from every ledger
+  // above.
+  for (const LinkStage& stage : link_stages_)
+    HXSP_CHECK_MSG(stage.empty(),
+                   "audit: link-phase staging buffer not drained at a cycle "
+                   "boundary");
+  HXSP_CHECK_MSG(staged_credits_.empty(),
+                 "audit: sharded event credits not committed at a cycle "
+                 "boundary");
 
   // --- per-output-VC conservation: occupancy and credits ------------------
   for (const Router& r : routers_) {

@@ -24,14 +24,21 @@ Network::Network(const NetworkContext& ctx, RoutingMechanism& mech,
                  "mechanism requires an escape subnetwork in the context");
   HXSP_CHECK(servers_per_switch_ >= 1);
 
+  for (auto& slot : wheel_) slot.attach(&event_chunks_);
+
   const SwitchId n = ctx_.graph->num_switches();
   for (SwitchId s = 0; s < n; ++s)
     routers_.emplace_back(s, ctx_.graph->degree(s), servers_per_switch_, cfg_);
 
   const ServerId total = static_cast<ServerId>(n) * servers_per_switch_;
-  for (ServerId v = 0; v < total; ++v)
-    servers_.emplace_back(v, static_cast<SwitchId>(v / servers_per_switch_),
-                          static_cast<int>(v % servers_per_switch_), cfg_);
+  for (ServerId v = 0; v < total; ++v) {
+    const SwitchId sw = static_cast<SwitchId>(v / servers_per_switch_);
+    const int local = static_cast<int>(v % servers_per_switch_);
+    servers_.emplace_back(v, sw, local, cfg_);
+    servers_.back().set_inject_port(
+        routers_[static_cast<std::size_t>(sw)].first_server_port() +
+        static_cast<Port>(local));
+  }
 
   metrics_.configure(total, cfg_.packet_length);
   link_stats_ = LinkStats(*ctx_.graph);
@@ -58,60 +65,160 @@ void Network::enter_workload_mode(MessageSource* source, long outstanding) {
   completion_outstanding_ = outstanding;
 }
 
-void Network::process_events() {
-  auto& slot = wheel_[static_cast<std::size_t>(now_ & (kWheelSize - 1))];
-  for (const Event& ev : slot) {
+void Network::handle_consume(const Event& ev, PooledRing<Event>& next) {
+  const ServerId dst = ev.a;
+  metrics_.on_consumed(dst, ev.aux, now_);
+  if (timeseries_) timeseries_->add(now_, cfg_.packet_length);
+  on_packet_destroyed();
+  note_progress();
+  // Workload mode: attribute the consumption to its message, which
+  // may complete it and release dependent messages (the completion
+  // callback chain feeding the next phase).
+  if (workload_ && ev.msg >= 0)
+    workload_->on_packet_consumed(ev.msg, now_, *this);
+  // Return the eject credit to the router's server port (the port was
+  // resolved when the Consume event was scheduled, see consume_at).
+  const SwitchId sw = dst / servers_per_switch_;
+  next.push_back({Event::Kind::CreditRouter, ev.vc, ev.port, sw,
+                  cfg_.packet_length});
+}
+
+void Network::apply_router_event_shard(const PooledRing<Event>& slot, int w,
+                                       int workers) {
+  // Every worker scans the whole slot (pure reads — nothing pushes while
+  // workers run) and applies only the router-targeted events of its own
+  // shard: target router ids with a % workers == w. Two workers never
+  // touch the same router, and one router's events are applied by one
+  // worker in slot order — exactly the per-target serial order. The
+  // handlers themselves touch only the target router (plus read-only
+  // config/topology), and events targeting *different* routers commute,
+  // so the post-slot state is identical to the serial loop's for every
+  // worker count. InDrainDone's follow-on credit is precomputed into
+  // staged_credits_ at the event's slot ordinal (each ordinal has
+  // exactly one owner — disjoint writes); the serial pass commits the
+  // credits in slot order so the next slot's contents stay bit-exact.
+  std::size_t ord = 0;
+  slot.for_each([&](const Event& ev) {
+    const std::size_t i = ord++;
     switch (ev.kind) {
       case Event::Kind::InDrainDone: {
+        if (ev.a % workers != w) break;
         Router& r = routers_[static_cast<std::size_t>(ev.a)];
         r.input_drain_done(*this, ev.port, ev.vc);
-        // Return the freed space upstream, one cycle of credit latency.
         if (ev.port < r.first_server_port()) {
           const PortInfo& pi = ctx_.graph->port(ev.a, ev.port);
-          schedule(now_ + 1, {Event::Kind::CreditRouter, ev.vc, pi.remote_port,
-                              pi.neighbor, cfg_.packet_length});
+          staged_credits_[i] = {Event::Kind::CreditRouter, ev.vc,
+                                pi.remote_port, pi.neighbor,
+                                cfg_.packet_length};
         } else {
           const ServerId srv =
               static_cast<ServerId>(ev.a) * servers_per_switch_ +
               (ev.port - r.first_server_port());
-          schedule(now_ + 1, {Event::Kind::CreditServer, ev.vc, 0, srv,
-                              cfg_.packet_length});
+          staged_credits_[i] = {Event::Kind::CreditServer, ev.vc, 0, srv,
+                                cfg_.packet_length};
         }
         break;
       }
       case Event::Kind::CreditRouter:
-        routers_[static_cast<std::size_t>(ev.a)].credit_return(
-            ev.port, ev.vc, static_cast<int>(ev.aux));
-        break;
-      case Event::Kind::CreditServer:
-        servers_[static_cast<std::size_t>(ev.a)].credit_return(
-            ev.vc, static_cast<int>(ev.aux));
+        if (ev.a % workers == w)
+          routers_[static_cast<std::size_t>(ev.a)].credit_return(
+              ev.port, ev.vc, static_cast<int>(ev.aux));
         break;
       case Event::Kind::OutTailGone:
-        routers_[static_cast<std::size_t>(ev.a)].output_tail_gone(
-            ev.port, ev.vc, cfg_.packet_length);
+        if (ev.a % workers == w)
+          routers_[static_cast<std::size_t>(ev.a)].output_tail_gone(
+              ev.port, ev.vc, cfg_.packet_length);
         break;
-      case Event::Kind::Consume: {
-        const ServerId dst = ev.a;
-        metrics_.on_consumed(dst, ev.aux, now_);
-        if (timeseries_) timeseries_->add(now_, cfg_.packet_length);
-        on_packet_destroyed();
-        note_progress();
-        // Workload mode: attribute the consumption to its message, which
-        // may complete it and release dependent messages (the completion
-        // callback chain feeding the next phase).
-        if (workload_ && ev.msg >= 0)
-          workload_->on_packet_consumed(ev.msg, now_, *this);
-        // Return the eject credit to the router's server port.
-        const SwitchId sw = dst / servers_per_switch_;
-        const Port port = routers_[static_cast<std::size_t>(sw)]
-                              .first_server_port() +
-                          static_cast<Port>(dst % servers_per_switch_);
-        schedule(now_ + 1, {Event::Kind::CreditRouter, ev.vc, port, sw,
-                            cfg_.packet_length});
-        break;
-      }
+      case Event::Kind::CreditServer:
+      case Event::Kind::Consume:
+        break; // serial pass: global metrics / workload callbacks / servers
     }
+  });
+}
+
+void Network::process_events() {
+  PooledRing<Event>& slot =
+      wheel_[static_cast<std::size_t>(now_ & (kWheelSize - 1))];
+  if (slot.empty()) return;
+  // Every credit this slot emits lands exactly one cycle ahead, so the
+  // destination slot is resolved once and pushed into directly — the
+  // coalesced form of the per-event schedule(now_ + 1, ...) calls. The
+  // next slot is distinct from the current one (wheel size > 1), so
+  // pushing while scanning is safe.
+  PooledRing<Event>& next =
+      wheel_[static_cast<std::size_t>((now_ + 1) & (kWheelSize - 1))];
+  if (step_pool_ != nullptr && slot.size() >= kShardEventsMin) {
+    staged_credits_.assign(static_cast<std::size_t>(slot.size()), Event{});
+    const int workers = step_pool_->size();
+    for (int w = 0; w < workers; ++w)
+      step_pool_->submit([this, &slot, w, workers] {
+        apply_router_event_shard(slot, w, workers);
+      });
+    step_pool_->wait_idle();
+    // Serial ordered pass: commit the staged credits and run the event
+    // kinds that touch global state (metrics, the workload callback
+    // chain, server credit counters) in exact slot order. The serial
+    // kinds read nothing the workers mutated (Consume touches metrics/
+    // servers/workload; workers touch only router buffers), so the
+    // split cannot change the outcome, only the interleaving of
+    // commutative router updates.
+    std::size_t ord = 0;
+    slot.for_each([&](const Event& ev) {
+      const std::size_t i = ord++;
+      switch (ev.kind) {
+        case Event::Kind::InDrainDone:
+          next.push_back(staged_credits_[i]);
+          break;
+        case Event::Kind::CreditServer:
+          servers_[static_cast<std::size_t>(ev.a)].credit_return(
+              ev.vc, static_cast<int>(ev.aux));
+          break;
+        case Event::Kind::Consume:
+          handle_consume(ev, next);
+          break;
+        case Event::Kind::CreditRouter:
+        case Event::Kind::OutTailGone:
+          break; // applied by the sharded workers
+      }
+    });
+    staged_credits_.clear();
+  } else {
+    slot.for_each([&](const Event& ev) {
+      switch (ev.kind) {
+        case Event::Kind::InDrainDone: {
+          Router& r = routers_[static_cast<std::size_t>(ev.a)];
+          r.input_drain_done(*this, ev.port, ev.vc);
+          // Return the freed space upstream, one cycle of credit latency.
+          if (ev.port < r.first_server_port()) {
+            const PortInfo& pi = ctx_.graph->port(ev.a, ev.port);
+            next.push_back({Event::Kind::CreditRouter, ev.vc, pi.remote_port,
+                            pi.neighbor, cfg_.packet_length});
+          } else {
+            const ServerId srv =
+                static_cast<ServerId>(ev.a) * servers_per_switch_ +
+                (ev.port - r.first_server_port());
+            next.push_back({Event::Kind::CreditServer, ev.vc, 0, srv,
+                            cfg_.packet_length});
+          }
+          break;
+        }
+        case Event::Kind::CreditRouter:
+          routers_[static_cast<std::size_t>(ev.a)].credit_return(
+              ev.port, ev.vc, static_cast<int>(ev.aux));
+          break;
+        case Event::Kind::CreditServer:
+          servers_[static_cast<std::size_t>(ev.a)].credit_return(
+              ev.vc, static_cast<int>(ev.aux));
+          break;
+        case Event::Kind::OutTailGone:
+          routers_[static_cast<std::size_t>(ev.a)].output_tail_gone(
+              ev.port, ev.vc, cfg_.packet_length);
+          break;
+        case Event::Kind::Consume:
+          handle_consume(ev, next);
+          break;
+      }
+    });
   }
   slot.clear();
 }
@@ -126,9 +233,56 @@ void Network::deliver(PacketPtr pkt, SwitchId sw, Port port, Vc vc, Cycle head,
 void Network::consume_at(PacketPtr pkt, Cycle when, Vc vc) {
   HXSP_DCHECK(pkt->dst_switch ==
               static_cast<SwitchId>(pkt->dst_server / servers_per_switch_));
-  schedule(when, {Event::Kind::Consume, vc, 0, pkt->dst_server, pkt->created,
-                  pkt->msg});
+  // The eject-credit port is resolved here, where the destination switch
+  // is already at hand, instead of re-deriving it (modulo + router
+  // lookup) when the Consume event fires.
+  const Port eject =
+      routers_[static_cast<std::size_t>(pkt->dst_switch)].first_server_port() +
+      static_cast<Port>(pkt->dst_server % servers_per_switch_);
+  schedule(when, {Event::Kind::Consume, vc, eject, pkt->dst_server,
+                  pkt->created, pkt->msg});
   // The packet object dies here; the Consume event carries what remains.
+}
+
+void Network::set_step_pool(ThreadPool* pool) {
+  step_pool_ = pool;
+  link_stages_.clear();
+  if (pool != nullptr)
+    link_stages_.resize(static_cast<std::size_t>(pool->size()));
+}
+
+void Network::commit_link_stages() {
+  const int len = cfg_.packet_length;
+  const Cycle head = now_ + cfg_.link_latency;
+  const Cycle tail = head + len - 1;
+#ifndef NDEBUG
+  SwitchId prev_src = -1;
+#endif
+  for (LinkStage& stage : link_stages_) {
+    for (StagedTx& t : stage.txs) {
+#ifndef NDEBUG
+      // Contiguous ascending partitions + in-order emission: the
+      // concatenation is sorted by source router id, i.e. the exact
+      // order the serial link loop visits transmissions.
+      HXSP_CHECK(t.src >= prev_src);
+      prev_src = t.src;
+#endif
+      schedule(now_ + len, {Event::Kind::OutTailGone, t.vc, t.port, t.src, 0});
+      if (t.port <
+          routers_[static_cast<std::size_t>(t.src)].first_server_port()) {
+        const PortInfo& pi = ctx_.graph->port(t.src, t.port);
+        HXSP_DCHECK(ctx_.graph->link_alive(pi.link));
+        link_stats_.on_transmit(t.src, t.port, len);
+        deliver(std::move(t.pkt), pi.neighbor, pi.remote_port, t.vc, head,
+                tail);
+      } else {
+        consume_at(std::move(t.pkt), tail, t.vc);
+      }
+      note_progress();
+    }
+    for (const SwitchId s : stage.deactivated) sorted_id_erase(link_active_, s);
+    stage.clear();
+  }
 }
 
 void Network::step() {
@@ -140,7 +294,21 @@ void Network::step() {
     run_audit();
     next_audit_ += cfg_.audit_interval;
   }
+  // Phase profiling (attach_phase_times): one predictable branch per
+  // phase boundary when detached; the injected clock never feeds back
+  // into simulation state.
+  // The det-lint allows below share one justification: pt->clock is the
+  // *caller's* injected clock (see StepPhaseTimes), its readings flow
+  // only into profiling accumulators, and no simulation decision ever
+  // reads them back — behaviour is identical with profiling on or off.
+  StepPhaseTimes* const pt = phase_times_;
+  double t_prev = pt != nullptr ? pt->clock() : 0.0; // det-lint: allow(wall-clock)
   process_events();
+  if (pt != nullptr) {
+    const double t = pt->clock(); // det-lint: allow(wall-clock)
+    pt->events += t - t_prev;
+    t_prev = t;
+  }
   // Generation must visit every server in id order: each loaded server
   // draws from the shared RNG stream every cycle, and that draw order is
   // part of the determinism contract. Injection draws nothing, so idle
@@ -148,6 +316,11 @@ void Network::step() {
   for (auto& s : servers_) {
     s.generation_phase(*this, now_, rng_);
     if (s.injection_ready(now_)) s.injection_phase(*this, now_);
+  }
+  if (pt != nullptr) {
+    const double t = pt->clock(); // det-lint: allow(wall-clock)
+    pt->generation += t - t_prev;
+    t_prev = t;
   }
   // Routers without buffered input (resp. waiting output) packets would
   // run their alloc (resp. link) phase as a pure no-op — no RNG draws, no
@@ -183,9 +356,41 @@ void Network::step() {
   }
   for (SwitchId s : phase_scratch_)
     routers_[static_cast<std::size_t>(s)].alloc_phase(*this, now_);
+  if (pt != nullptr) {
+    const double t = pt->clock(); // det-lint: allow(wall-clock)
+    pt->alloc += t - t_prev;
+    t_prev = t;
+  }
   phase_scratch_.assign(link_active_.begin(), link_active_.end());
-  for (SwitchId s : phase_scratch_)
-    routers_[static_cast<std::size_t>(s)].link_phase(*this, now_);
+  if (step_pool_ != nullptr && phase_scratch_.size() > 1) {
+    // Parallel link phase: the same contiguous ascending partition as
+    // phase A, but over the link-active snapshot. Each worker performs
+    // its routers' router-local link work (RNG-free) and stages the
+    // popped transmissions into its own LinkStage; the serial commit
+    // below then replays deliveries, wheel events and link stats in
+    // concatenation order — exactly the serial loop's order. Deferring
+    // deliveries is behaviour-preserving even within the cycle: a
+    // delivery mutates only the *destination* router's input side, which
+    // no link phase reads (the link phase scans output state only).
+    const std::size_t workers = static_cast<std::size_t>(step_pool_->size());
+    const std::size_t per = (phase_scratch_.size() + workers - 1) / workers;
+    for (std::size_t w = 0; w * per < phase_scratch_.size(); ++w) {
+      const std::size_t lo = w * per;
+      const std::size_t hi = std::min(lo + per, phase_scratch_.size());
+      LinkStage* const stage = &link_stages_[w];
+      step_pool_->submit([this, lo, hi, stage] {
+        for (std::size_t i = lo; i < hi; ++i)
+          routers_[static_cast<std::size_t>(phase_scratch_[i])]
+              .link_phase_collect(cfg_, now_, *stage);
+      });
+    }
+    step_pool_->wait_idle();
+    commit_link_stages();
+  } else {
+    for (SwitchId s : phase_scratch_)
+      routers_[static_cast<std::size_t>(s)].link_phase(*this, now_);
+  }
+  if (pt != nullptr) pt->link += pt->clock() - t_prev; // det-lint: allow(wall-clock)
 
   if (cfg_.watchdog_cycles > 0 && packets_in_system_ > 0 &&
       now_ - last_progress_ > cfg_.watchdog_cycles) {

@@ -17,6 +17,7 @@
 /// the tripwire behind our deadlock-freedom claims.
 
 #include <algorithm>
+#include <cstdint>
 #include <deque>
 #include <memory>
 #include <vector>
@@ -29,6 +30,8 @@
 #include "sim/router.hpp"
 #include "sim/server.hpp"
 #include "traffic/pattern.hpp"
+#include "util/check.hpp"
+#include "util/ringbuf.hpp"
 #include "util/rng.hpp"
 
 namespace hxsp {
@@ -56,20 +59,63 @@ inline void sorted_id_erase(std::vector<T>& v, T x) {
 }
 
 /// A deferred simulator action (buffer release, credit return, delivery).
+///
+/// Laid out widest-first so one event is 24 bytes (vs 32 with natural
+/// field order): a 64-item wheel-slot chunk then spans 6 cache lines
+/// instead of 8, which the slot scan in process_events walks linearly
+/// every cycle. port/vc are stored narrow — ports are bounded by
+/// switch degree + servers per switch (hundreds), VCs by the allocator's
+/// 32-VC feasibility mask — and widen back to Port/Vc implicitly at use
+/// sites. The constructor keeps the historical (kind, vc, port, a, aux
+/// [, msg]) argument order so scheduling sites read unchanged.
 struct Event {
   enum class Kind : std::uint8_t {
     InDrainDone,  ///< a = router, port/vc: head left the input buffer
     CreditRouter, ///< a = router, port/vc: credit for an output VC
     CreditServer, ///< a = server, vc: credit for the injection buffer
     OutTailGone,  ///< a = router, port/vc: tail left the output buffer
-    Consume       ///< a = server, vc = eject vc, aux = creation cycle
+    Consume       ///< a = server, vc/port = eject vc/port, aux = creation
   };
-  Kind kind;
-  Vc vc = 0;
-  Port port = 0;
-  std::int32_t a = 0;
   Cycle aux = 0;
+  std::int32_t a = 0;
   std::int32_t msg = kInvalid; ///< Consume: workload Message index (-1: none)
+  std::int16_t port = 0;
+  std::int8_t vc = 0;
+  Kind kind = Kind::InDrainDone;
+
+  Event() = default;
+  Event(Kind k, Vc v, Port p, std::int32_t a_, Cycle aux_,
+        std::int32_t msg_ = kInvalid)
+      : aux(aux_), a(a_), msg(msg_), port(static_cast<std::int16_t>(p)),
+        vc(static_cast<std::int8_t>(v)), kind(k) {
+    HXSP_DCHECK(p >= 0 && p <= INT16_MAX);
+    HXSP_DCHECK(v >= 0 && v <= INT8_MAX);
+  }
+};
+
+/// Per-phase wall-time accumulator for Network::step (see
+/// Network::attach_phase_times). The clock is injected as a plain
+/// function pointer by the profiling caller (tools/hxsp_perf) so no
+/// wall-clock read lives inside src/sim — the determinism lint stays
+/// clean and the engine's behaviour cannot depend on time. Seconds
+/// accumulate across every step while attached.
+struct StepPhaseTimes {
+  using ClockFn = double (*)();
+
+  // det-lint: allow(wall-clock) — no clock is *read* here: the caller
+  // injects the function and the engine only accumulates its deltas into
+  // fields no simulation decision ever reads.
+  explicit StepPhaseTimes(ClockFn clock_fn) : clock(clock_fn) { // det-lint: allow(wall-clock)
+    HXSP_CHECK(clock_fn != nullptr);
+  }
+
+  ClockFn clock;
+  double events = 0.0;     ///< process_events (wheel slot application)
+  double generation = 0.0; ///< server generation + injection
+  double alloc = 0.0;      ///< candidate precompute + allocation
+  double link = 0.0;       ///< link phase (collect + commit when parallel)
+
+  double total() const { return events + generation + alloc + link; }
 };
 
 /// A complete simulated network bound to one routing mechanism and one
@@ -213,19 +259,41 @@ class Network {
 
   // --- deterministic intra-run parallel stepping ---------------------------
 
-  /// Attaches a worker pool for the candidate phase of step(): routers are
-  /// partitioned across the pool's threads, each precomputing the routing
-  /// candidates of its routers (a pure, RNG-free function of per-router
-  /// state and shared-immutable tables), and the serial allocation loop
-  /// then runs over the cached results in ascending router id — so every
-  /// request, grant and RNG draw happens in exactly the serial order and
-  /// the simulation stays bit-identical to step_pool == nullptr. Pass
-  /// nullptr to return to fully serial stepping. The pool is borrowed, not
-  /// owned, and must outlive the Network (or be detached first).
-  void set_step_pool(ThreadPool* pool) { step_pool_ = pool; }
+  /// Attaches a worker pool for the parallel phases of step(). Three
+  /// phases fan out across the pool, all bit-identical to serial:
+  ///
+  ///  1. Candidate precompute — routers partitioned contiguously, each
+  ///     worker precomputing routing candidates (pure, RNG-free); the
+  ///     serial allocation loop then replays them in ascending router id,
+  ///     so every request, grant and RNG draw keeps its serial order.
+  ///  2. Link phase — the same contiguous partition of link_active_; each
+  ///     worker pops transmissions into its per-worker LinkStage (router-
+  ///     local mutations only), and a serial commit applies deliveries,
+  ///     wheel events and link stats in concatenation order, which equals
+  ///     (source router id, ordinal) order because partitions are
+  ///     contiguous and ascending. The link phase draws no RNG, so the
+  ///     replay is exact, not just equivalent.
+  ///  3. Event application — each wheel slot's router-targeted events
+  ///     (InDrainDone / CreditRouter / OutTailGone) are sharded by target
+  ///     router id so workers mutate disjoint routers in per-target slot
+  ///     order; Consume and CreditServer (global metrics, workload
+  ///     callbacks) stay on a serial ordered pass that also commits the
+  ///     credits the workers staged.
+  ///
+  /// Pass nullptr to return to fully serial stepping. The pool is
+  /// borrowed, not owned, and must outlive the Network (or be detached
+  /// first).
+  void set_step_pool(ThreadPool* pool);
 
-  /// The attached candidate-phase pool (null = serial stepping).
+  /// The attached step pool (null = serial stepping).
   ThreadPool* step_pool() const { return step_pool_; }
+
+  /// Attaches a per-phase wall-time accumulator (see StepPhaseTimes in
+  /// this header); null detaches. When attached, step() brackets its four
+  /// phases with pt->clock() calls — the clock is injected by the caller
+  /// so the engine itself never reads a wall clock (determinism lint).
+  /// Profiling never alters simulation behaviour, only measures it.
+  void attach_phase_times(StepPhaseTimes* pt) { phase_times_ = pt; }
 
   // --- invariant auditor (sim/audit.cpp) ----------------------------------
 
@@ -243,6 +311,28 @@ class Network {
  private:
   void step();
   void process_events();
+
+  /// Sharded event application: worker \p w applies the router-targeted
+  /// events of \p slot whose target router id satisfies a % workers == w,
+  /// in slot order, and stages each InDrainDone's follow-on credit into
+  /// staged_credits_ (indexed by slot ordinal — disjoint writes).
+  void apply_router_event_shard(const PooledRing<Event>& slot, int w,
+                                int workers);
+
+  /// Applies one Consume event (metrics, time series, workload callback,
+  /// eject credit into \p next). Serial path only.
+  void handle_consume(const Event& ev, PooledRing<Event>& next);
+
+  /// Serial commit of the parallel link phase: replays every staged
+  /// transmission (wheel events, link stats, delivery/consumption,
+  /// watchdog progress) in the exact order the serial loop would have
+  /// produced, then retires routers whose output work drained.
+  void commit_link_stages();
+
+  /// Events below this slot size are applied serially even with a pool
+  /// attached — the fan-out/join costs more than the scan. Small enough
+  /// that modest test networks still exercise the sharded path.
+  static constexpr int kShardEventsMin = 16;
 
   NetworkContext ctx_;
   RoutingMechanism& mech_;
@@ -269,13 +359,25 @@ class Network {
 
   static constexpr int kWheelBits = 6;
   static constexpr int kWheelSize = 1 << kWheelBits; ///< 64-cycle horizon
-  std::vector<std::vector<Event>> wheel_;
+  // The chunk pool is declared before the wheel so slots can return their
+  // chunks during destruction; all 64 slots share it, so wheel memory
+  // tracks peak in-flight events, not 64 per-slot high-water marks.
+  ChunkPool<Event> event_chunks_;
+  std::vector<PooledRing<Event>> wheel_;
 
   SimMetrics metrics_;
   LinkStats link_stats_;
   TimeSeries* timeseries_ = nullptr;
   MessageSource* workload_ = nullptr;
   ThreadPool* step_pool_ = nullptr; ///< borrowed; null = serial stepping
+  StepPhaseTimes* phase_times_ = nullptr; ///< borrowed; null = no profiling
+
+  /// Per-worker staging buffers of the parallel link phase (sized to the
+  /// pool on set_step_pool; all empty outside the link phase — audited).
+  std::vector<LinkStage> link_stages_;
+  /// Sharded event application: slot-ordinal-indexed credits staged by
+  /// workers, committed by the serial pass (empty outside process_events).
+  std::vector<Event> staged_credits_;
 
   Cycle now_ = 0;
   Cycle last_progress_ = 0;

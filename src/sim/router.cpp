@@ -322,6 +322,35 @@ void Router::link_phase(Network& net, Cycle now) {
   }
 }
 
+void Router::link_phase_collect(const SimConfig& cfg, Cycle now,
+                                LinkStage& out) {
+  const int len = cfg.packet_length;
+  // Lockstep mirror of link_phase's router-local half: same snapshot,
+  // same round-robin scan, same pops and cache updates, in the same
+  // order. The network-visible tail (wheel events, link stats, delivery
+  // or consumption, active-set erasure) is staged for the serial commit.
+  link_scratch_.assign(link_ports_.begin(), link_ports_.end());
+  for (const Port p : link_scratch_) {
+    OutputPort& op = outputs_[static_cast<std::size_t>(p)];
+    if (op.waiting == 0 || op.link_free_at > now) continue;
+    const std::size_t vbase = vc_index(p, 0);
+    for (int k = 0; k < num_vcs_; ++k) {
+      const int v = (op.rr_next + k) % num_vcs_;
+      if (out_head_[vbase + static_cast<std::size_t>(v)] > now) continue;
+      OutputVc& ov = out_vcs_[vbase + static_cast<std::size_t>(v)];
+      PacketPtr pkt = ov.q.pop_front();
+      out_head_[vbase + static_cast<std::size_t>(v)] =
+          ov.q.empty() ? kNeverReady : ov.q.front()->buf_head;
+      if (--op.waiting == 0) sorted_id_erase(link_ports_, p);
+      if (--waiting_total_ == 0) out.deactivated.push_back(id_);
+      op.link_free_at = now + len;
+      op.rr_next = (v + 1) % num_vcs_;
+      out.txs.push_back({std::move(pkt), id_, p, static_cast<Vc>(v)});
+      break;
+    }
+  }
+}
+
 void Router::input_drain_done(Network& net, Port port, Vc vc) {
   InputVc& iv = input_mut(port, vc);
   HXSP_DCHECK(iv.draining);

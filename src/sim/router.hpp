@@ -91,6 +91,34 @@ struct OutputPort {
                                    ///< updated wherever either input moves
 };
 
+/// One transmission popped by the parallel link phase, awaiting its
+/// serial commit (wheel events, link stats, delivery/consumption). The
+/// packet is owned by the stage between collect and commit.
+struct StagedTx {
+  PacketPtr pkt;
+  SwitchId src = kInvalid;
+  Port port = 0;
+  Vc vc = 0;
+};
+
+/// Per-worker staging buffer of the parallel link phase. Each worker owns
+/// a contiguous ascending range of the link-active snapshot and appends
+/// in iteration order, so concatenating the stages in worker order
+/// reproduces the serial loop's (source router id, ordinal) order exactly
+/// — no sort, no timestamps. `deactivated` defers the link-active-set
+/// erasures (the one non-router-local mutation of the serial link phase)
+/// to the commit.
+struct LinkStage {
+  std::vector<StagedTx> txs;
+  std::vector<SwitchId> deactivated;
+
+  bool empty() const { return txs.empty() && deactivated.empty(); }
+  void clear() {
+    txs.clear();
+    deactivated.clear();
+  }
+};
+
 /// One switch of the network.
 class Router {
  public:
@@ -127,6 +155,17 @@ class Router {
 
   /// Link phase: starts output-port transmissions.
   void link_phase(Network& net, Cycle now);
+
+  /// The parallel half of the link phase: performs exactly the
+  /// router-local mutations link_phase would (pop the granted head,
+  /// refresh out-head caches and waiting counts, stamp link_free_at,
+  /// advance round-robin) but stages the popped packet into \p out
+  /// instead of delivering it, and records this router in
+  /// out.deactivated instead of touching the network's link active set.
+  /// RNG-free and confined to this router, so it is safe to run
+  /// concurrently for disjoint routers; Network::commit_link_stages
+  /// replays the staged transmissions in serial order.
+  void link_phase_collect(const SimConfig& cfg, Cycle now, LinkStage& out);
 
   // --- event handlers -----------------------------------------------------
 

@@ -116,11 +116,10 @@ void Server::injection_phase(Network& net, Cycle now) {
   credits_[static_cast<std::size_t>(best)] -= len;
   link_free_at_ = now + len;
 
-  const Port port = net.router(switch_).first_server_port() +
-                    static_cast<Port>(local_);
+  HXSP_DCHECK(inject_port_ != kInvalid);
   const Cycle head = now + net.cfg().link_latency;
   const Cycle tail = head + len - 1;
-  net.deliver(std::move(pkt), switch_, port, best, head, tail);
+  net.deliver(std::move(pkt), switch_, inject_port_, best, head, tail);
   net.note_progress();
 }
 

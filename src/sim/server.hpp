@@ -84,6 +84,13 @@ class Server {
   /// joins the injection FIFO behind earlier releases.
   void workload_push(std::int32_t m) { wl_ready_.push_back(m); }
 
+  /// Fixes the router input port this server injects into (first server
+  /// port of its switch + local index). Called once by the Network
+  /// constructor, because the port base depends on the switch's topology
+  /// degree, which the Server constructor cannot see; caching it saves a
+  /// router lookup per injected packet.
+  void set_inject_port(Port p) { inject_port_ = p; }
+
   /// Packets still waiting in the injection queue.
   int queued() const { return queue_.size(); }
 
@@ -124,6 +131,7 @@ class Server {
   long remaining_ = -1;      ///< mode selector + completion budget (see above)
   double inject_prob_ = 0.0; ///< packets per cycle (Bernoulli)
   Cycle link_free_at_ = 0;
+  Port inject_port_ = kInvalid; ///< router input port (set_inject_port)
   int queue_capacity_;
   RingBuf<PacketPtr> queue_;
   ServerId id_;

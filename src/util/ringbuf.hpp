@@ -1,6 +1,7 @@
 #pragma once
 /// \file ringbuf.hpp
-/// Bounded FIFO ring buffer over one contiguous allocation.
+/// Bounded FIFO ring buffer over one contiguous allocation, plus the
+/// pooled chunk rings the event wheel's slots live in.
 ///
 /// The engine's packet queues (router input/output VCs, server injection
 /// queues) are all bounded by construction — credit-based flow control
@@ -15,9 +16,18 @@
 /// Capacity is fixed by reset_capacity() (called once when the owning
 /// component is built from its SimConfig); exceeding it is a logic error
 /// (HXSP_DCHECK), never a reallocation.
+///
+/// The event wheel has the opposite shape: 64 slots whose sizes swing
+/// with load and are unbounded in principle. Giving each slot its own
+/// growing vector means 64 independent high-water allocations that never
+/// shrink; PooledRing instead chains fixed-size chunks drawn from one
+/// shared ChunkPool, so the wheel's total footprint tracks the number of
+/// events actually in flight (one cycle's spike is the next cycle's free
+/// chunks) and a slot scan walks cache-dense 64-item chunks.
 
 #include <cstdint>
 #include <memory>
+#include <type_traits>
 #include <utility>
 
 #include "util/check.hpp"
@@ -92,6 +102,151 @@ class RingBuf {
   std::uint32_t mask_ = 0;
   std::uint32_t head_ = 0;
   int cap_ = 0;
+  int size_ = 0;
+};
+
+/// Freelist of fixed-size chunks shared by every PooledRing attached to
+/// it. Chunks released by one ring (an event-wheel slot drained this
+/// cycle) are immediately reusable by any other, so total allocation
+/// tracks peak *simultaneous* occupancy across all rings rather than the
+/// sum of per-ring high-water marks. Single-threaded by design: acquire/
+/// release happen only on the serial step path (workers only read
+/// already-built chunks), matching the engine's determinism contract.
+template <typename T>
+class ChunkPool {
+  static_assert(std::is_trivially_destructible_v<T>,
+                "ChunkPool recycles raw chunks; element destructors would "
+                "never run");
+
+ public:
+  static constexpr int kChunkItems = 64;
+
+  struct Chunk {
+    Chunk* next = nullptr;
+    int count = 0;
+    T items[kChunkItems];
+  };
+
+  ChunkPool() = default;
+  ChunkPool(const ChunkPool&) = delete;
+  ChunkPool& operator=(const ChunkPool&) = delete;
+  ~ChunkPool() {
+    while (free_) {
+      Chunk* c = free_;
+      free_ = c->next;
+      delete c;
+    }
+  }
+
+  Chunk* acquire() {
+    if (free_ != nullptr) {
+      Chunk* c = free_;
+      free_ = c->next;
+      c->next = nullptr;
+      c->count = 0;
+      return c;
+    }
+    ++allocated_;
+    return new Chunk();
+  }
+
+  void release(Chunk* c) {
+    HXSP_DCHECK(c != nullptr);
+    c->count = 0;
+    c->next = free_;
+    free_ = c;
+  }
+
+  /// Chunks ever allocated (free + in use) — memory-footprint telemetry.
+  long allocated() const { return allocated_; }
+
+ private:
+  Chunk* free_ = nullptr;
+  long allocated_ = 0;
+};
+
+/// Unbounded FIFO over a chain of pooled chunks. push_back appends at the
+/// tail chunk; for_each walks front to back in insertion order; clear
+/// returns every chunk to the pool in O(chunks). There is no pop — the
+/// event wheel's usage pattern is append-all, scan-all, clear — which
+/// keeps the per-push cost to one bounds check and one store.
+template <typename T>
+class PooledRing {
+ public:
+  using Pool = ChunkPool<T>;
+  using Chunk = typename Pool::Chunk;
+
+  PooledRing() = default;
+  PooledRing(const PooledRing&) = delete;
+  PooledRing& operator=(const PooledRing&) = delete;
+  PooledRing(PooledRing&& o) noexcept
+      : pool_(o.pool_), head_(o.head_), tail_(o.tail_), size_(o.size_) {
+    o.head_ = o.tail_ = nullptr;
+    o.size_ = 0;
+  }
+  PooledRing& operator=(PooledRing&& o) noexcept {
+    if (this != &o) {
+      clear();
+      pool_ = o.pool_;
+      head_ = o.head_;
+      tail_ = o.tail_;
+      size_ = o.size_;
+      o.head_ = o.tail_ = nullptr;
+      o.size_ = 0;
+    }
+    return *this;
+  }
+  ~PooledRing() { clear(); }
+
+  /// Binds the ring to its chunk source. Must happen before the first
+  /// push; the pool must outlive the ring.
+  void attach(Pool* pool) {
+    HXSP_DCHECK(head_ == nullptr);
+    pool_ = pool;
+  }
+
+  bool empty() const { return size_ == 0; }
+  int size() const { return size_; }
+
+  void push_back(const T& v) {
+    if (tail_ == nullptr || tail_->count == Pool::kChunkItems) grow();
+    tail_->items[tail_->count++] = v;
+    ++size_;
+  }
+
+  /// Visits every element in insertion order. Safe to call concurrently
+  /// from multiple threads as long as no push/clear overlaps.
+  template <typename F>
+  void for_each(F&& f) const {
+    for (const Chunk* c = head_; c != nullptr; c = c->next)
+      for (int i = 0; i < c->count; ++i) f(c->items[i]);
+  }
+
+  /// Releases every chunk back to the pool.
+  void clear() {
+    while (head_ != nullptr) {
+      Chunk* c = head_;
+      head_ = c->next;
+      pool_->release(c);
+    }
+    tail_ = nullptr;
+    size_ = 0;
+  }
+
+ private:
+  void grow() {
+    HXSP_DCHECK(pool_ != nullptr);
+    Chunk* c = pool_->acquire();
+    if (tail_ != nullptr)
+      tail_->next = c;
+    else
+      head_ = c;
+    tail_ = c;
+  }
+
+  Pool* pool_ = nullptr;
+  Chunk* head_ = nullptr;
+  Chunk* tail_ = nullptr;
   int size_ = 0;
 };
 

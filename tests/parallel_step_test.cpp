@@ -68,8 +68,11 @@ TEST(ParallelStep, BitIdenticalWithStaticFaults) {
   spec.fault_links = {0, 7, 13, 21};
   Experiment e(spec);
   const ResultRow serial = e.run_load(0.5);
-  e.set_step_threads(2);
-  expect_identical(e.run_load(0.5), serial, "faulted polsp threads=2");
+  for (const int threads : {1, 2, 8}) {
+    e.set_step_threads(threads);
+    expect_identical(e.run_load(0.5), serial,
+                     "faulted polsp threads=" + std::to_string(threads));
+  }
 }
 
 TEST(ParallelStep, BitIdenticalThroughDynamicFaultRebuilds) {
@@ -94,6 +97,75 @@ TEST(ParallelStep, BitIdenticalCompletionMode) {
   const CompletionResult par = e.run_completion(20, 100, 100000);
   EXPECT_TRUE(par.drained);
   EXPECT_EQ(par.completion_time, serial.completion_time);
+}
+
+TEST(ParallelStep, BitIdenticalWorkloadKind) {
+  // Message-level workloads drive the Consume -> workload-callback path
+  // through the sharded event application (Consume stays serial; the
+  // callback order must match exactly or message completion cycles move).
+  // The auditor cross-checks the wheel's ring-buffer slots every pass.
+  ExperimentSpec spec = small_spec("polsp");
+  spec.sim.audit_interval = 512;
+  WorkloadParams wp;
+  wp.name = "alltoall";
+  wp.msg_packets = 2;
+  Experiment e(spec);
+  const WorkloadResult serial = e.run_workload(wp, 500, 400000);
+  ASSERT_TRUE(serial.drained);
+  for (const int threads : {1, 2, 8}) {
+    e.set_step_threads(threads);
+    const WorkloadResult par = e.run_workload(wp, 500, 400000);
+    const std::string what = "workload threads=" + std::to_string(threads);
+    EXPECT_TRUE(par.drained) << what;
+    EXPECT_EQ(par.completion_time, serial.completion_time) << what;
+    EXPECT_EQ(par.phase_cycles, serial.phase_cycles) << what;
+    EXPECT_EQ(par.num_messages, serial.num_messages) << what;
+    EXPECT_EQ(par.total_packets, serial.total_packets) << what;
+    EXPECT_EQ(par.avg_msg_latency, serial.avg_msg_latency) << what;
+    EXPECT_EQ(par.p50_msg_latency, serial.p50_msg_latency) << what;
+    EXPECT_EQ(par.p99_msg_latency, serial.p99_msg_latency) << what;
+  }
+}
+
+TEST(ParallelStep, BitIdenticalMultitenantKind) {
+  // Multi-tenant runs overlap several workloads on one fabric; admission
+  // and every per-tenant SLO figure must be untouched by the thread count.
+  ExperimentSpec spec = small_spec("polsp");
+  spec.sim.audit_interval = 512;
+  MultitenantParams mp;
+  mp.isolated_baseline = false;
+  JobSpec j0, j1;
+  j0.workload.name = "alltoall";
+  j0.workload.msg_packets = 2;
+  j0.demand = 10;
+  j0.arrival = 0;
+  j1.workload.name = "ring_allreduce";
+  j1.workload.msg_packets = 2;
+  j1.demand = 6;
+  j1.arrival = 100;
+  mp.jobs = {j0, j1};
+  Experiment e(spec);
+  const MultitenantResult serial = e.run_multitenant(mp, 500, 400000);
+  ASSERT_TRUE(serial.drained);
+  for (const int threads : {1, 2, 8}) {
+    e.set_step_threads(threads);
+    const MultitenantResult par = e.run_multitenant(mp, 500, 400000);
+    const std::string what = "multitenant threads=" + std::to_string(threads);
+    EXPECT_EQ(par.completion_time, serial.completion_time) << what;
+    EXPECT_EQ(par.total_packets, serial.total_packets) << what;
+    ASSERT_EQ(par.jobs.size(), serial.jobs.size()) << what;
+    for (std::size_t i = 0; i < serial.jobs.size(); ++i) {
+      const TenantJobStats& a = par.jobs[i];
+      const TenantJobStats& b = serial.jobs[i];
+      EXPECT_EQ(a.admitted, b.admitted) << what << " job " << i;
+      EXPECT_EQ(a.completed, b.completed) << what << " job " << i;
+      EXPECT_EQ(a.num_messages, b.num_messages) << what << " job " << i;
+      EXPECT_EQ(a.total_packets, b.total_packets) << what << " job " << i;
+      EXPECT_EQ(a.avg_msg_latency, b.avg_msg_latency) << what << " job " << i;
+      EXPECT_EQ(a.p50_msg_latency, b.p50_msg_latency) << what << " job " << i;
+      EXPECT_EQ(a.p99_msg_latency, b.p99_msg_latency) << what << " job " << i;
+    }
+  }
 }
 
 TEST(ParallelStep, AuditorStaysGreenUnderPool) {

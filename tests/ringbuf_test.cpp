@@ -1,12 +1,15 @@
 /// \file ringbuf_test.cpp
 /// RingBuf (util/ringbuf.hpp): FIFO semantics, wrap-around, capacity
 /// rounding, move-only element support and indexed sweeps — the contract
-/// behind every packet queue in the engine.
+/// behind every packet queue in the engine. Also ChunkPool/PooledRing,
+/// the pooled append-only FIFOs behind the event wheel's slots.
 
 #include <gtest/gtest.h>
 
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "util/ringbuf.hpp"
 
@@ -123,6 +126,79 @@ TEST(RingBuf, ResetCapacityReallocates) {
   for (int i = 0; i < 16; ++i) rb.push_back(i);
   EXPECT_EQ(rb.size(), 16);
   for (int i = 0; i < 16; ++i) EXPECT_EQ(rb.pop_front(), i);
+}
+
+// ---------------------------------------------------------------------------
+// ChunkPool / PooledRing — the event wheel's slot storage.
+
+std::vector<int> collect(const PooledRing<int>& ring) {
+  std::vector<int> out;
+  ring.for_each([&out](const int& v) { out.push_back(v); });
+  return out;
+}
+
+TEST(PooledRing, AppendScanClearOrder) {
+  ChunkPool<int> pool;
+  PooledRing<int> ring;
+  ring.attach(&pool);
+  EXPECT_TRUE(ring.empty());
+  EXPECT_EQ(ring.size(), 0);
+  for (int i = 0; i < 10; ++i) ring.push_back(i);
+  EXPECT_EQ(ring.size(), 10);
+  const std::vector<int> got = collect(ring);
+  ASSERT_EQ(got.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(got[i], i);
+  ring.clear();
+  EXPECT_TRUE(ring.empty());
+  EXPECT_TRUE(collect(ring).empty());
+}
+
+TEST(PooledRing, MultiChunkOrderPreserved) {
+  // Far more items than one chunk holds: the chunk walk must concatenate
+  // chunks front-to-back with no item lost, duplicated or reordered.
+  ChunkPool<int> pool;
+  PooledRing<int> ring;
+  ring.attach(&pool);
+  const int n = ChunkPool<int>::kChunkItems * 5 + 7;
+  for (int i = 0; i < n; ++i) ring.push_back(i);
+  EXPECT_EQ(ring.size(), n);
+  const std::vector<int> got = collect(ring);
+  ASSERT_EQ(got.size(), static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) EXPECT_EQ(got[i], i);
+}
+
+TEST(PooledRing, ClearRecyclesChunksAcrossRings) {
+  // The wheel's 64 slots share one pool: chunks released by one slot's
+  // clear() must be reused by the next slot's growth instead of newing —
+  // steady-state stepping allocates nothing.
+  ChunkPool<int> pool;
+  PooledRing<int> a, b;
+  a.attach(&pool);
+  b.attach(&pool);
+  const int n = ChunkPool<int>::kChunkItems * 3;
+  for (int i = 0; i < n; ++i) a.push_back(i);
+  const long after_fill = pool.allocated();
+  EXPECT_GE(after_fill, 3);
+  a.clear();
+  for (int i = 0; i < n; ++i) b.push_back(i);
+  EXPECT_EQ(pool.allocated(), after_fill); // all growth came from the freelist
+  const std::vector<int> got = collect(b);
+  ASSERT_EQ(got.size(), static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) EXPECT_EQ(got[i], i);
+}
+
+TEST(PooledRing, MoveTransfersChunks) {
+  ChunkPool<int> pool;
+  PooledRing<int> ring;
+  ring.attach(&pool);
+  for (int i = 0; i < 100; ++i) ring.push_back(i);
+  PooledRing<int> moved = std::move(ring);
+  EXPECT_EQ(moved.size(), 100);
+  const std::vector<int> got = collect(moved);
+  ASSERT_EQ(got.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(got[i], i);
+  moved.clear(); // chunks go back to the pool, not leaked
+  EXPECT_TRUE(moved.empty());
 }
 
 } // namespace

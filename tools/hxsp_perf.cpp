@@ -17,7 +17,7 @@
 /// Usage: hxsp_perf [--quick] [--grid=fig06|big] [--label=NAME]
 ///                  [--out=FILE] [--reps=N] [--cycles=N] [--warmup=N]
 ///                  [--seed=N] [--only=CONFIG] [--step-threads=N]
-///                  [--note=TEXT]
+///                  [--note=TEXT] [--phase-times]
 ///                  [--loads=a,b,c]  (override the rate-config loads)
 ///
 ///   --quick   CI-sized grid (4x4, short windows) — smoke scale, numbers
@@ -37,9 +37,20 @@
 ///             still 1,048,576 servers, 8x fewer switches.
 ///
 ///   --step-threads=N  attach an N-worker pool to the deterministic
-///             two-phase step (candidate precompute in parallel, alloc
-///             serial). Output is bit-identical at any N; only wall time
-///             may change.
+///             parallel step (candidate precompute, link-phase collect and
+///             sharded event application fan out; alloc, commits and
+///             Consume stay serial). Output is bit-identical at any N;
+///             only wall time may change.
+///
+///   --phase-times  per-phase wall-time breakdown (events / generation /
+///             alloc / link) printed per config and persisted as
+///             phase_seconds in the entry — the measurement behind any
+///             "phase X bounds the speedup" claim. Uses a monotonic clock
+///             injected into the engine (phase shares must include worker
+///             wall time, which the thread-CPU meter used for the
+///             headline numbers cannot see); profiling adds a few clock
+///             reads per cycle, so headline rates from a profiled run are
+///             modestly pessimistic.
 ///
 ///   --note=TEXT  free-text annotation stored in the written entry (e.g.
 ///             the host's core count, which bounds any parallel speedup).
@@ -76,7 +87,26 @@ struct PerfResult {
   double cycles_per_sec = 0.0;
   double packets_per_sec = 0.0;  ///< consumed packets per wall second
   std::int64_t consumed = 0;     ///< packets consumed in the timed region
+  bool has_phases = false;       ///< --phase-times was on
+  /// Per-phase seconds accumulated over every timed rep (shares are the
+  /// meaningful quantity; the absolute sum covers reps x cycles).
+  double phase_events = 0.0, phase_generation = 0.0, phase_alloc = 0.0,
+         phase_link = 0.0;
 };
+
+/// Monotonic wall clock, injected into the engine for --phase-times.
+/// Phase profiling must be wall time, not thread CPU time: the parallel
+/// phases burn CPU on pool workers, which the main thread's CPU clock
+/// never sees.
+double mono_now() {
+#if defined(CLOCK_MONOTONIC)
+  timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<double>(ts.tv_sec) + 1e-9 * static_cast<double>(ts.tv_nsec);
+#else
+  return static_cast<double>(std::clock()) / CLOCKS_PER_SEC;
+#endif
+}
 
 /// CPU time of the calling thread. The stepping loop is single-threaded
 /// and deterministic, so CPU time is the right meter: unlike wall time it
@@ -136,14 +166,26 @@ ExperimentSpec big_spec(int side, int sps, const std::string& mechanism,
   return s;
 }
 
+void store_phases(PerfResult& r, const StepPhaseTimes& pt) {
+  r.has_phases = true;
+  r.phase_events = pt.events;
+  r.phase_generation = pt.generation;
+  r.phase_alloc = pt.alloc;
+  r.phase_link = pt.link;
+}
+
 PerfResult measure_rate(const PerfConfig& pc, Cycle warmup, Cycle timed,
-                        int reps, ThreadPool* pool) {
+                        int reps, ThreadPool* pool, bool phase_times) {
   Experiment e(pc.spec);
   Network net(e.context(), e.mechanism(), e.traffic(), pc.spec.sim,
               pc.spec.resolved_servers_per_switch(), pc.spec.seed);
   net.set_step_pool(pool);
   net.set_offered_load(pc.load);
   net.run_cycles(warmup);
+
+  // Attach after warmup so the profile covers only the timed windows.
+  StepPhaseTimes phases(&mono_now);
+  if (phase_times) net.attach_phase_times(&phases);
 
   PerfResult r;
   r.name = pc.name;
@@ -161,18 +203,21 @@ PerfResult measure_rate(const PerfConfig& pc, Cycle warmup, Cycle timed,
   }
   r.cycles_per_sec = static_cast<double>(timed) / r.wall_seconds;
   r.packets_per_sec = static_cast<double>(r.consumed) / r.wall_seconds;
+  if (phase_times) store_phases(r, phases);
   return r;
 }
 
 PerfResult measure_drain(const PerfConfig& pc, Cycle limit, int reps,
-                         ThreadPool* pool) {
+                         ThreadPool* pool, bool phase_times) {
   PerfResult r;
   r.name = pc.name;
+  StepPhaseTimes phases(&mono_now);
   for (int rep = 0; rep < reps; ++rep) {
     Experiment e(pc.spec);
     Network net(e.context(), e.mechanism(), e.traffic(), pc.spec.sim,
                 pc.spec.resolved_servers_per_switch(), pc.spec.seed);
     net.set_step_pool(pool);
+    if (phase_times) net.attach_phase_times(&phases);
     net.set_completion_load(pc.drain_packets);
     const double t0 = cpu_now();
     const bool drained = net.run_until_drained(limit);
@@ -186,7 +231,20 @@ PerfResult measure_drain(const PerfConfig& pc, Cycle limit, int reps,
   }
   r.cycles_per_sec = static_cast<double>(r.cycles) / r.wall_seconds;
   r.packets_per_sec = static_cast<double>(r.consumed) / r.wall_seconds;
+  if (phase_times) store_phases(r, phases);
   return r;
+}
+
+void print_phases(const PerfResult& r) {
+  const double total =
+      r.phase_events + r.phase_generation + r.phase_alloc + r.phase_link;
+  if (total <= 0.0) return;
+  std::printf("  phases: events %5.1f%%  generation %5.1f%%  alloc %5.1f%%  "
+              "link %5.1f%%  (%.3fs profiled)\n",
+              100.0 * r.phase_events / total,
+              100.0 * r.phase_generation / total,
+              100.0 * r.phase_alloc / total, 100.0 * r.phase_link / total,
+              total);
 }
 
 /// Re-emits a parsed JSON value verbatim (numbers keep their raw tokens).
@@ -257,6 +315,14 @@ void write_bench_json(const std::string& path, const std::string& label,
     w.key("wall_seconds").value(r.wall_seconds);
     w.key("cycles_per_sec").value(r.cycles_per_sec);
     w.key("packets_per_sec").value(r.packets_per_sec);
+    if (r.has_phases) {
+      w.key("phase_seconds").begin_object();
+      w.key("events").value(r.phase_events);
+      w.key("generation").value(r.phase_generation);
+      w.key("alloc").value(r.phase_alloc);
+      w.key("link").value(r.phase_link);
+      w.end_object();
+    }
     w.end_object();
   }
   w.end_array();
@@ -287,6 +353,7 @@ int main(int argc, char** argv) {
   const std::string grid_kind = opt.get("grid", "fig06");
   const std::string note = opt.get("note", "");
   const int step_threads = static_cast<int>(opt.get_int("step-threads", 0));
+  const bool phase_times = opt.get_bool("phase-times", false);
   HXSP_CHECK_MSG(grid_kind == "fig06" || grid_kind == "big",
                  "--grid must be 'fig06' or 'big'");
   const bool big = grid_kind == "big";
@@ -361,11 +428,13 @@ int main(int argc, char** argv) {
     if (!only.empty() && pc.name != only) continue;
     const PerfResult r =
         pc.drain_packets > 0
-            ? measure_drain(pc, /*limit=*/2000000, reps, pool.get())
-            : measure_rate(pc, warmup, timed, reps, pool.get());
+            ? measure_drain(pc, /*limit=*/2000000, reps, pool.get(),
+                            phase_times)
+            : measure_rate(pc, warmup, timed, reps, pool.get(), phase_times);
     std::printf("%-12s %10lld %12.4f %14.0f %14.0f\n", r.name.c_str(),
                 static_cast<long long>(r.cycles), r.wall_seconds,
                 r.cycles_per_sec, r.packets_per_sec);
+    if (r.has_phases) print_phases(r);
     std::fflush(stdout);
     results.push_back(r);
   }

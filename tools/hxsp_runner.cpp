@@ -4,8 +4,11 @@
 /// merges shard outputs back into the single-process order.
 ///
 /// Run mode:
-///   hxsp_runner MANIFEST.json [--shard=i/n] [--jobs=N]
+///   hxsp_runner MANIFEST.json [--shard=i/n] [--jobs=N] [--step-threads=N]
 ///               [--csv=out.csv] [--json=out.json] [--quiet]
+///   --step-threads attaches a deterministic intra-run step pool of N
+///   workers to every task's Network (bit-identical at any N, so it
+///   composes freely with --jobs/--shard without affecting output).
 ///   MANIFEST "-" reads the manifest from stdin, so a driver can pipe:
 ///     fig06_random_faults --emit-tasks | hxsp_runner - --csv=out.csv
 ///   --csv is both output and checkpoint: completed task ids are skipped
@@ -41,7 +44,7 @@ std::string read_stdin() {
 int usage(const char* prog) {
   std::fprintf(stderr,
                "usage: %s MANIFEST.json|- [--shard=i/n] [--jobs=N] "
-               "[--csv=F] [--json=F] [--quiet]\n"
+               "[--step-threads=N] [--csv=F] [--json=F] [--quiet]\n"
                "       %s --merge=out.csv [--json=out.json] shard.csv...\n",
                prog, prog);
   return 2;
@@ -77,6 +80,7 @@ int main(int argc, char** argv) {
 
   RunnerOptions ropts;
   ropts.jobs = static_cast<int>(opt.get_int("jobs", 0));
+  ropts.step_threads = static_cast<int>(opt.get_int("step-threads", 0));
   ropts.shard = ShardSpec::parse(opt.get("shard", "0/1"));
   ropts.csv_path = opt.get("csv", "");
   ropts.json_path = opt.get("json", "");
