@@ -113,6 +113,53 @@ else
   echo "SKIP    step pool (ext_workloads driver or baseline CSV missing)"
 fi
 
+# Telemetry smoke (see src/telemetry/): re-run the fig06 grid with the
+# whole telemetry surface on — windowed registry, packet tracer, flight
+# recorder — and require the result CSV byte-identical to the baseline:
+# telemetry observes, it never perturbs (rows go to a separate artefact).
+if [[ -x "$BUILD_DIR/fig06_random_faults" && -s "$WORK_DIR/fig06_random_faults.csv" ]]; then
+  if "$BUILD_DIR/fig06_random_faults" --side=4 --warmup=200 --measure=400 \
+       --steps=2 --max-faults=4 --telemetry-window=64 --trace-sample=4 \
+       --flight-recorder=64 --jobs=2 \
+       --csv="$WORK_DIR/fig06_telem.csv" > "$WORK_DIR/fig06_telem.out" 2>&1 &&
+     cmp -s "$WORK_DIR/fig06_telem.csv" "$WORK_DIR/fig06_random_faults.csv"; then
+    echo "OK      telemetry (all knobs on, CSV identical to telemetry-off)"
+  else
+    echo "FAIL    telemetry (telemetry-on CSV differs or run failed)"
+    tail -5 "$WORK_DIR/fig06_telem.out"
+    FAILED=1
+  fi
+else
+  echo "SKIP    telemetry (fig06 driver or baseline CSV missing)"
+fi
+
+# Telemetry export smoke: a tiny faulted fig06 grid through hxsp_runner
+# with every artefact requested — the telemetry CSV parses as a result
+# CSV, the Chrome trace validates as JSON (what chrome://tracing and
+# Perfetto consume), and the JSONL is non-empty.
+if [[ -x "$BUILD_DIR/fig06_random_faults" && -x "$BUILD_DIR/hxsp_runner" ]] \
+     && command -v python3 > /dev/null; then
+  if "$BUILD_DIR/fig06_random_faults" --side=4 --warmup=200 --measure=400 \
+       --steps=1 --max-faults=2 --telemetry-window=64 --trace-sample=8 \
+       --flight-recorder=64 \
+       --emit-tasks="$WORK_DIR/telem_manifest.json" > /dev/null 2>&1 &&
+     "$BUILD_DIR/hxsp_runner" "$WORK_DIR/telem_manifest.json" --jobs=2 \
+       --csv="$WORK_DIR/telem_results.csv" \
+       --telemetry-csv="$WORK_DIR/telem.csv" \
+       --trace-out="$WORK_DIR/telem_trace.json" \
+       --trace-jsonl="$WORK_DIR/telem_trace.jsonl" --quiet > /dev/null 2>&1 &&
+     [[ -s "$WORK_DIR/telem.csv" && -s "$WORK_DIR/telem_trace.jsonl" ]] &&
+     grep -q ",telemetry," "$WORK_DIR/telem.csv" &&
+     python3 -m json.tool "$WORK_DIR/telem_trace.json" > /dev/null 2>&1; then
+    echo "OK      telemetry export (--telemetry-csv/--trace-out/--trace-jsonl)"
+  else
+    echo "FAIL    telemetry export"
+    FAILED=1
+  fi
+else
+  echo "SKIP    telemetry export (fig06, hxsp_runner or python3 missing)"
+fi
+
 # Trace replay end to end: generate a JSONL trace with make_trace.py,
 # emit a workload-task manifest referencing it, and replay it through
 # hxsp_runner — the whole "record somewhere, replay here" pipeline.

@@ -19,6 +19,15 @@ Per-figure presets reproduce the paper's exact panel shapes:
                            one line per placement policy (from the extra
                            column of kind="tenant" rows), facet per tenant
                            workload
+  --preset telemetry       windowed-telemetry time lapse + link heatmap
+                           from the kind="telemetry" rows a
+                           `hxsp_runner --telemetry-csv` run emits: one
+                           facet per aggregate metric (throughput,
+                           latency percentiles, escape entries, credit
+                           stalls) with one line per task, plus a
+                           directed-link utilization heatmap (row per
+                           link, column per window) from the
+                           label="link" rows
 
 Stdlib-only by default; when matplotlib is installed a PNG is written
 (headless via the Agg backend), otherwise an ASCII rendition goes to
@@ -294,6 +303,118 @@ def collect_traces(rows):
     return facets, series_order
 
 
+TELEMETRY_CURVES = [
+    "consumed_phits", "injected_packets", "p50_latency", "p99_latency",
+    "escape_entries", "credit_stalls",
+]
+
+
+def collect_telemetry(rows):
+    """--preset=telemetry shapes: time-lapse curves of the aggregate
+    per-window metrics (facet per metric, one line per task) and a link
+    utilization heatmap (one row per directed link, one column per
+    window) from the label="link" rows."""
+    curves, series_order = {}, []
+    links = []
+    width = 0
+    for row in rows:
+        series = row.get("series", "")
+        if not series:
+            continue
+        try:
+            w = int(row.get("series_width", "0"))
+            values = [int(v) for v in series.split("|")]
+        except ValueError:
+            continue
+        if w <= 0:
+            continue
+        width = max(width, w)
+        label = row.get("label", "")
+        extra = parse_extra(row.get("extra", ""))
+        if label == "link":
+            try:
+                sw = int(extra.get("sw", "-1"))
+                port = int(extra.get("port", "-1"))
+                to = int(extra.get("to", "-1"))
+            except ValueError:
+                continue
+            links.append(((sw, port), f"s{sw}p{port}>s{to}", values))
+        elif extra.get("axis") == "window" and label in TELEMETRY_CURVES:
+            task = row.get("task_id") or "(run)"
+            facet = curves.setdefault(label, {})
+            key, n = task, 2
+            while key in facet:
+                key = f"{task} #{n}"
+                n += 1
+            if key not in series_order:
+                series_order.append(key)
+            facet[key] = [(b * w, v) for b, v in enumerate(values)]
+    links.sort(key=lambda entry: entry[0])
+    heat = [(name, values) for _, name, values in links]
+    return curves, series_order, heat, width
+
+
+def render_telemetry_ascii(curves, series_order, heat, width):
+    if curves:
+        render_ascii(curves, series_order, "cycle", "per-window value")
+    if not heat:
+        return
+    peak = max((max(v) for _, v in heat if v), default=0)
+    shades = " .:-=+*#%@"
+    print(f"\nlink heatmap: one row per directed link, one column per "
+          f"{width}-cycle window, peak {peak} phits/window")
+    for name, values in heat:
+        cells = "".join(
+            shades[min(len(shades) - 1, v * (len(shades) - 1) // peak)]
+            if peak else " " for v in values)
+        print(f"{name:>14} |{cells}|")
+
+
+def render_telemetry_png(curves, series_order, heat, width, out, title):
+    import matplotlib
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    panels = len(curves) + (1 if heat else 0)
+    fig, axes = plt.subplots(panels, 1, figsize=(7.5, 2.3 * panels),
+                             squeeze=False)
+    fig.patch.set_facecolor(SURFACE)
+    color = {s: PALETTE[i % len(PALETTE)] for i, s in enumerate(series_order)}
+    row = 0
+    for metric in sorted(curves):
+        ax = axes[row][0]
+        row += 1
+        ax.set_facecolor(SURFACE)
+        for key in series_order:
+            if key not in curves[metric]:
+                continue
+            points = curves[metric][key]
+            ax.plot([p[0] for p in points], [p[1] for p in points],
+                    color=color[key], linewidth=1.6, label=key)
+        ax.set_ylabel(metric, color=TEXT_SECONDARY, fontsize=8)
+        ax.grid(True, color=GRID, linewidth=0.8)
+        ax.tick_params(colors=TEXT_SECONDARY, labelsize=7)
+        for spine in ax.spines.values():
+            spine.set_color(GRID)
+    if heat:
+        ax = axes[row][0]
+        ax.imshow([values for _, values in heat], aspect="auto",
+                  interpolation="nearest", cmap="magma")
+        ax.set_ylabel("link", color=TEXT_SECONDARY, fontsize=8)
+        ax.set_yticks([])
+        ax.tick_params(colors=TEXT_SECONDARY, labelsize=7)
+    axes[-1][0].set_xlabel(f"window ({width} cycles each)",
+                           color=TEXT_SECONDARY, fontsize=8)
+    if len(series_order) >= 2 and curves:
+        axes[0][0].legend(fontsize=7, frameon=False,
+                          labelcolor=TEXT_PRIMARY)
+    if title:
+        fig.suptitle(title, color=TEXT_PRIMARY, fontsize=12)
+    fig.tight_layout()
+    fig.savefig(out, dpi=144, facecolor=SURFACE)
+    print(f"wrote {out}")
+
+
 def render_png(facets, series_order, x_key, y_key, out, title):
     import matplotlib
     matplotlib.use("Agg")
@@ -338,6 +459,9 @@ PRESETS = {
     # Per-tenant slowdown vs fault fraction, one line per placement
     # policy, facet per tenant workload (the "pattern" of tenant rows).
     "multitenant": ("tenant", "fault_frac", "slowdown", "placement"),
+    # Windowed telemetry time lapse + link heatmap (hxsp_runner
+    # --telemetry-csv artefacts).
+    "telemetry": ("telemetry", None, None, None),
 }
 
 
@@ -347,7 +471,8 @@ def main():
     ap.add_argument("--preset", default="", choices=[""] + sorted(PRESETS),
                     help="per-figure panel preset (fig08/fig09 grouped "
                          "bars, fig10 completion traces, workload "
-                         "completion curves)")
+                         "completion curves, telemetry time lapse + link "
+                         "heatmap)")
     ap.add_argument("--x", default=None,
                     help="x axis: a schema column (offered) or an extra "
                          "key (faults, vcs, scale); default offered")
@@ -403,6 +528,22 @@ def main():
                 print("matplotlib not available; ASCII rendition:",
                       file=sys.stderr)
         render_bars_ascii(facets, shape_order, mech_order, y_key)
+        return
+
+    if args.preset == "telemetry":
+        curves, series_order, heat, width = collect_telemetry(rows)
+        if not curves and not heat:
+            sys.exit("no telemetry rows (expected kind=telemetry windowed "
+                     "series — see hxsp_runner --telemetry-csv)")
+        if not args.ascii:
+            try:
+                render_telemetry_png(curves, series_order, heat, width,
+                                     args.out, title)
+                return
+            except ImportError:
+                print("matplotlib not available; ASCII rendition:",
+                      file=sys.stderr)
+        render_telemetry_ascii(curves, series_order, heat, width)
         return
 
     if args.preset == "fig10":

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "telemetry/capture.hpp"
 #include "topology/computed_distance.hpp"
 #include "util/jsonio.hpp"
 #include "util/log.hpp"
@@ -52,6 +53,9 @@ void spec_write_json(JsonWriter& w, const ExperimentSpec& s) {
   w.key("server_queue_packets").value(s.sim.server_queue_packets);
   w.key("watchdog_cycles").value(static_cast<std::int64_t>(s.sim.watchdog_cycles));
   w.key("audit_interval").value(static_cast<std::int64_t>(s.sim.audit_interval));
+  w.key("telemetry_window").value(static_cast<std::int64_t>(s.sim.telemetry_window));
+  w.key("trace_sample").value(s.sim.trace_sample);
+  w.key("flight_recorder").value(s.sim.flight_recorder);
   w.end_object();
   w.key("fault_links").begin_array();
   for (LinkId l : s.fault_links) w.value(static_cast<std::int64_t>(l));
@@ -103,6 +107,13 @@ ExperimentSpec spec_from_json(const JsonValue& v) {
   // key; they mean "audit off", whatever the build default.
   const JsonValue* audit = sim.find("audit_interval");
   s.sim.audit_interval = audit ? audit->as_i64() : 0;
+  // Same tolerance for the telemetry knobs (PR 10): absent means off.
+  const JsonValue* telemetry = sim.find("telemetry_window");
+  s.sim.telemetry_window = telemetry ? telemetry->as_i64() : 0;
+  const JsonValue* trace = sim.find("trace_sample");
+  s.sim.trace_sample = trace ? trace->as_int() : 0;
+  const JsonValue* flight = sim.find("flight_recorder");
+  s.sim.flight_recorder = flight ? flight->as_int() : 0;
   s.fault_links.clear();
   for (const JsonValue& l : v.at("fault_links").array())
     s.fault_links.push_back(static_cast<LinkId>(l.as_i64()));
@@ -185,6 +196,7 @@ Experiment::run_load_hotspots(double offered, int top_n) {
   net.begin_window();
   net.run_cycles(spec_.measure);
   net.end_window();
+  if (telemetry_capture_) net.export_telemetry(*telemetry_capture_);
 
   ResultRow row;
   row.mechanism = mech_->name();
@@ -212,6 +224,7 @@ CompletionResult Experiment::run_completion(long packets_per_server,
   net.set_completion_load(packets_per_server);
   res.drained = net.run_until_drained(max_cycles);
   res.completion_time = net.now();
+  if (telemetry_capture_) net.export_telemetry(*telemetry_capture_);
   return res;
 }
 
@@ -243,6 +256,7 @@ WorkloadResult Experiment::run_workload(const WorkloadParams& params,
   HXSP_DCHECK(res.drained == run.complete());
   res.completion_time = net.now();
   res.phase_cycles = run.phase_done();
+  if (telemetry_capture_) net.export_telemetry(*telemetry_capture_);
 
   // Message-latency tail: release-to-consumed, over completed messages.
   std::vector<Cycle> lat = run.completed_latencies();
@@ -300,6 +314,9 @@ MultitenantResult Experiment::run_multitenant(const MultitenantParams& params,
   res.jobs = sched.stats();
   for (const TenantJobStats& st : res.jobs)
     res.total_packets += st.total_packets;
+  // Export from the shared fabric only; the isolated baseline networks
+  // below are reference runs, not part of the observed system.
+  if (telemetry_capture_) net.export_telemetry(*telemetry_capture_);
 
   if (params.isolated_baseline) {
     // Per-job isolated reference: same messages, same concrete placement,
@@ -382,6 +399,7 @@ DynamicResult Experiment::run_load_dynamic(double offered,
   res.row.offered = offered;
   res.row.from_metrics(net.metrics());
   res.dropped = net.dropped_packets();
+  if (telemetry_capture_) net.export_telemetry(*telemetry_capture_);
 
   // Restore the injected faults and the tables so later runs see the
   // spec's static configuration again.

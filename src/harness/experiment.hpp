@@ -205,6 +205,14 @@ class Experiment {
   /// its JSON codec. Affects Networks created by subsequent run_* calls.
   void set_step_threads(int threads);
 
+  /// Attaches a telemetry capture: every subsequent run_* call overwrites
+  /// \p cap with the run's windowed frames, per-router/link/VC counters
+  /// and sampled trace hops (see telemetry/capture.hpp) — empty when the
+  /// spec's telemetry knobs are all off. Null detaches. Like
+  /// set_step_threads this is an execution knob, not part of the spec
+  /// codec: attaching a capture never changes any result row.
+  void attach_telemetry(TelemetryCapture* cap) { telemetry_capture_ = cap; }
+
   const HyperX& hyperx() const { return *hx_; }
   const DistanceProvider& distances() const { return *dist_; }
   const EscapeUpDown* escape() const { return escape_.get(); }
@@ -223,6 +231,7 @@ class Experiment {
   NetworkContext ctx_;
   Rng rng_;
   std::unique_ptr<ThreadPool> step_pool_; ///< null = serial stepping
+  TelemetryCapture* telemetry_capture_ = nullptr; ///< borrowed; may be null
 };
 
 /// Runs run_load() for every load in \p loads (convenience for sweeps).

@@ -63,6 +63,14 @@ ExperimentSpec spec_from_options(const Options& opt, int dims) {
   // --audit=K: run the engine invariant auditor every K cycles (0 = off;
   // HXSP_AUDIT builds default it on). Pure checking — never changes output.
   s.sim.audit_interval = opt.get_int("audit", s.sim.audit_interval);
+  // Telemetry knobs (PR 10). Pure observation — none of them changes a
+  // byte of the simulation's results.
+  s.sim.telemetry_window =
+      opt.get_int("telemetry-window", s.sim.telemetry_window);
+  s.sim.trace_sample =
+      static_cast<int>(opt.get_int("trace-sample", s.sim.trace_sample));
+  s.sim.flight_recorder =
+      static_cast<int>(opt.get_int("flight-recorder", s.sim.flight_recorder));
   return s;
 }
 

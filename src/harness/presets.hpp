@@ -30,7 +30,10 @@ std::vector<double> default_loads(bool paper);
 ///   --paper, --side, --sps, --vcs, --warmup, --measure, --seed,
 ///   --strict-escape, --no-shortcuts, --root,
 ///   --hotspot-fraction, --hotspot-count (randomized-pattern knobs),
-///   --audit=K (invariant auditor every K cycles, 0 = off).
+///   --audit=K (invariant auditor every K cycles, 0 = off),
+///   --telemetry-window=W (windowed telemetry every W cycles, 0 = off),
+///   --trace-sample=K (trace packets with id % K == 0, 0 = off),
+///   --flight-recorder=N (keep the last N engine events per network).
 /// \p dims selects the base preset (2 or 3).
 ExperimentSpec spec_from_options(const Options& opt, int dims);
 

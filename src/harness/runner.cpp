@@ -4,6 +4,7 @@
 #include <set>
 
 #include "harness/sweep.hpp"
+#include "telemetry/capture.hpp"
 #include "util/check.hpp"
 
 namespace hxsp {
@@ -97,6 +98,17 @@ RunnerReport run_manifest(const std::vector<TaskSpec>& tasks,
     }
   }
 
+  // Telemetry captures are collected only when some artefact consumes
+  // them; otherwise the tasks run with a null capture pointer and the
+  // telemetry surface costs nothing here.
+  const bool want_telemetry = !opts.telemetry_csv_path.empty() ||
+                              !opts.trace_json_path.empty() ||
+                              !opts.trace_jsonl_path.empty();
+  std::vector<TelemetryCapture> captures;
+
+  const double started =
+      (opts.progress && opts.now_seconds) ? opts.now_seconds() : 0;
+
   ParallelSweep sweep(opts.jobs);
   sweep.run_tasks(todo, [&](std::size_t i, const TaskResult& result) {
     std::vector<ResultRecord> group = make_records(todo[i], result);
@@ -114,16 +126,65 @@ RunnerReport run_manifest(const std::vector<TaskSpec>& tasks,
     if (!opts.quiet)
       std::fprintf(stderr, "hxsp_runner: [%zu/%zu] %s done\n", i + 1,
                    todo.size(), todo[i].id.c_str());
+    if (opts.progress) {
+      // Heartbeat: delivery is in submission order, so i + 1 tasks are
+      // done. ETA assumes the remaining tasks cost the observed average
+      // — crude but free, and it only ever touches stderr.
+      const std::size_t done = i + 1;
+      if (opts.now_seconds) {
+        const double elapsed = opts.now_seconds() - started;
+        const double eta =
+            elapsed / static_cast<double>(done) *
+            static_cast<double>(todo.size() - done);
+        std::fprintf(stderr,
+                     "hxsp_runner: progress %zu/%zu (%.0f%%) elapsed %.1fs "
+                     "eta %.1fs\n",
+                     done, todo.size(),
+                     100.0 * static_cast<double>(done) /
+                         static_cast<double>(todo.size()),
+                     elapsed, eta);
+      } else {
+        std::fprintf(stderr, "hxsp_runner: progress %zu/%zu (%.0f%%)\n", done,
+                     todo.size(),
+                     100.0 * static_cast<double>(done) /
+                         static_cast<double>(todo.size()));
+      }
+    }
     for (ResultRecord& rec : group)
       report.records.push_back(std::move(rec));
     ++report.executed;
-  }, opts.step_threads);
+  }, opts.step_threads, want_telemetry ? &captures : nullptr);
   if (out) std::fclose(out);
 
   if (!opts.json_path.empty())
     HXSP_CHECK_MSG(write_whole_file(opts.json_path,
                                     ResultSink::json(report.records)),
                    "cannot write JSON output");
+
+  if (want_telemetry) {
+    // Rows and traces cover the tasks executed *now*, in submission
+    // order; resumed tasks ran in an earlier process and left no capture
+    // behind (documented in RunnerOptions).
+    for (std::size_t i = 0; i < todo.size(); ++i)
+      for (ResultRecord& rec : make_telemetry_records(todo[i], captures[i]))
+        report.telemetry_records.push_back(std::move(rec));
+    if (!opts.telemetry_csv_path.empty())
+      HXSP_CHECK_MSG(write_whole_file(opts.telemetry_csv_path,
+                                      ResultSink::csv(report.telemetry_records)),
+                     "cannot write telemetry CSV");
+    std::vector<TaskTrace> traces;
+    for (std::size_t i = 0; i < todo.size(); ++i)
+      if (captures[i].trace_sample > 0)
+        traces.push_back(TaskTrace{todo[i].id, &captures[i].hops});
+    if (!opts.trace_json_path.empty())
+      HXSP_CHECK_MSG(
+          write_whole_file(opts.trace_json_path, trace_chrome_json(traces)),
+          "cannot write Chrome trace JSON");
+    if (!opts.trace_jsonl_path.empty())
+      HXSP_CHECK_MSG(write_whole_file(opts.trace_jsonl_path,
+                                      trace_jsonl(traces)),
+                     "cannot write trace JSONL");
+  }
   return report;
 }
 

@@ -32,6 +32,24 @@ struct RunnerOptions {
   std::string csv_path;       ///< checkpoint + CSV output ("" = in-memory)
   std::string json_path;      ///< JSON output, written on completion ("")
   bool quiet = false;         ///< suppress per-task progress lines
+
+  /// Telemetry/trace artefacts, written on completion ("" = none). These
+  /// are *separate* files from csv_path — the result CSV stays
+  /// byte-identical whether or not telemetry is on. They cover only the
+  /// tasks executed by this invocation: tasks resumed from a checkpoint
+  /// were simulated by an earlier process and have no capture here.
+  std::string telemetry_csv_path; ///< kind="telemetry" rows as CSV
+  std::string trace_json_path;    ///< sampled hops as Chrome trace JSON
+  std::string trace_jsonl_path;   ///< sampled hops as JSONL (diffable)
+
+  /// Heartbeat on stderr after each completed task: done/total and an
+  /// ETA extrapolated from completed-task wall time. Requires
+  /// \ref now_seconds; purely cosmetic (stderr only, never in artefacts).
+  bool progress = false;
+  /// Injected wall-clock (seconds, monotonic) for the progress ETA. A
+  /// function pointer so the deterministic library core contains no
+  /// timing calls — the tool main() supplies one (nullptr: no ETA).
+  double (*now_seconds)() = nullptr;
 };
 
 struct RunnerReport {
@@ -40,6 +58,9 @@ struct RunnerReport {
   std::size_t resumed = 0;         ///< shard tasks already in the checkpoint
   std::size_t executed = 0;        ///< tasks actually simulated now
   std::vector<ResultRecord> records;  ///< full record set after the run
+  /// kind="telemetry" rows of the tasks executed now (empty unless a
+  /// telemetry/trace artefact was requested; see RunnerOptions).
+  std::vector<ResultRecord> telemetry_records;
 };
 
 /// Executes \p tasks under \p opts as described above. Aborts

@@ -1,5 +1,7 @@
 #include "harness/sweep.hpp"
 
+#include "telemetry/capture.hpp"
+
 namespace hxsp {
 
 ResultRow run_sweep_point(const SweepPoint& point) {
@@ -21,11 +23,13 @@ std::vector<ResultRow> ParallelSweep::run(
 std::vector<TaskResult> ParallelSweep::run_tasks(
     const std::vector<TaskSpec>& tasks,
     const std::function<void(std::size_t, const TaskResult&)>& on_result,
-    int step_threads) {
+    int step_threads, std::vector<TelemetryCapture>* captures) {
+  if (captures) captures->assign(tasks.size(), TelemetryCapture{});
   return map<TaskResult>(
       tasks.size(),
-      [&tasks, step_threads](std::size_t i) {
-        return run_task(tasks[i], step_threads);
+      [&tasks, step_threads, captures](std::size_t i) {
+        return run_task(tasks[i], step_threads,
+                        captures ? &(*captures)[i] : nullptr);
       },
       on_result);
 }

@@ -71,10 +71,13 @@ class ParallelSweep {
   /// intra-run step pool of that many workers (see run_task) — sweep
   /// parallelism across tasks and step parallelism within one compose
   /// freely, and neither changes a byte of output.
+  /// \p captures (optional) is resized to tasks.size() and slot i receives
+  /// task i's telemetry capture — each worker writes only its own slot, so
+  /// the collection is race-free and in submission order by construction.
   std::vector<TaskResult> run_tasks(
       const std::vector<TaskSpec>& tasks,
       const std::function<void(std::size_t, const TaskResult&)>& on_result = {},
-      int step_threads = 0);
+      int step_threads = 0, std::vector<TelemetryCapture>* captures = nullptr);
 
   /// Deterministic ordered parallel map: evaluates fn(0) .. fn(n-1) on
   /// the pool and returns the results indexed by input. \p on_result is

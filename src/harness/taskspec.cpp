@@ -245,11 +245,13 @@ const ResultRow* task_result_row(const TaskResult& result) {
   return nullptr;
 }
 
-TaskResult run_task(const TaskSpec& task, int step_threads) {
+TaskResult run_task(const TaskSpec& task, int step_threads,
+                    TelemetryCapture* telemetry) {
   Experiment e(task.spec);
   // Execution knob, not part of the spec (any value is bit-identical, so
   // it never belongs in a manifest — see TaskSpec's codec note).
   if (step_threads > 0) e.set_step_threads(step_threads);
+  if (telemetry) e.attach_telemetry(telemetry);
   switch (task.kind) {
     case TaskKind::kCompletion:
       return e.run_completion(task.packets_per_server, task.bucket_width,

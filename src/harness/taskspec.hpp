@@ -125,6 +125,10 @@ const ResultRow* task_result_row(const TaskResult& result);
 /// that many workers to the task's Network (Experiment::set_step_threads)
 /// — an execution knob, never serialized into manifests, because every
 /// value produces bit-identical results by the engine's contract.
-TaskResult run_task(const TaskSpec& task, int step_threads = 0);
+/// \p telemetry (optional) receives the run's telemetry capture
+/// (Experiment::attach_telemetry) — empty unless the spec enables
+/// telemetry_window / trace_sample; never changes the returned result.
+TaskResult run_task(const TaskSpec& task, int step_threads = 0,
+                    TelemetryCapture* telemetry = nullptr);
 
 } // namespace hxsp

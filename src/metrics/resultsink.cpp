@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "telemetry/capture.hpp"
 #include "util/fileio.hpp"
 #include "util/jsonio.hpp"
 #include "util/check.hpp"
@@ -537,6 +538,119 @@ std::vector<ResultRecord> make_records(const TaskSpec& task,
   // proof the whole group made it to disk.
   group.push_back(make_record(task, result));
   return group;
+}
+
+namespace {
+
+// Shared shell of every telemetry row: same identity columns as the
+// task's result rows, so telemetry CSVs merge/sort by task_id exactly
+// like result CSVs do.
+ResultRecord telemetry_base(const TaskSpec& task, const TelemetryCapture& cap) {
+  ResultRecord rec;
+  rec.driver = task.driver();
+  rec.task_id = task.id;
+  rec.kind = "telemetry";
+  rec.mechanism = task.spec.mechanism;
+  rec.pattern = task.spec.pattern;
+  rec.offered = task.offered;
+  rec.seed = task.spec.seed;
+  rec.num_servers = static_cast<std::int64_t>(cap.num_servers);
+  rec.series_width = cap.window;
+  return rec;
+}
+
+} // namespace
+
+std::vector<ResultRecord> make_telemetry_records(const TaskSpec& task,
+                                                 const TelemetryCapture& cap) {
+  std::vector<ResultRecord> rows;
+  if (!cap.active()) return rows;
+
+  // One aggregate row per windowed metric; the label names the metric
+  // and the series holds one value per closed window.
+  struct FrameMetric {
+    const char* label;
+    std::int64_t (*get)(const TelemetryFrame&);
+  };
+  static const FrameMetric kFrameMetrics[] = {
+      {"consumed_phits", [](const TelemetryFrame& f) { return f.consumed_phits; }},
+      {"consumed_packets", [](const TelemetryFrame& f) { return f.consumed; }},
+      {"injected_packets", [](const TelemetryFrame& f) { return f.injected; }},
+      {"p50_latency",
+       [](const TelemetryFrame& f) { return static_cast<std::int64_t>(f.p50_latency); }},
+      {"p99_latency",
+       [](const TelemetryFrame& f) { return static_cast<std::int64_t>(f.p99_latency); }},
+      {"hops_routing", [](const TelemetryFrame& f) { return f.hops_routing; }},
+      {"hops_escape", [](const TelemetryFrame& f) { return f.hops_escape; }},
+      {"hops_forced", [](const TelemetryFrame& f) { return f.hops_forced; }},
+      {"escape_entries", [](const TelemetryFrame& f) { return f.escape_entries; }},
+      {"credit_stalls", [](const TelemetryFrame& f) { return f.credit_stalls; }},
+      {"link_phits", [](const TelemetryFrame& f) { return f.link_phits; }},
+      {"link_max_phits", [](const TelemetryFrame& f) { return f.link_max_phits; }},
+      {"occupancy_hwm", [](const TelemetryFrame& f) { return f.occupancy_hwm; }},
+  };
+  if (!cap.frames.empty()) {
+    for (const FrameMetric& m : kFrameMetrics) {
+      ResultRecord rec = telemetry_base(task, cap);
+      rec.label = m.label;
+      rec.extra = "axis=window";
+      rec.series.reserve(cap.frames.size());
+      for (const TelemetryFrame& f : cap.frames) rec.series.push_back(m.get(f));
+      rec.cycles = cap.frames.back().end;
+      rows.push_back(std::move(rec));
+    }
+  }
+
+  // Per-link window series (the heatmap rows). Absent on topologies
+  // above TelemetryRegistry::kMaxLinkSeriesLinks directed links.
+  for (const LinkWindowSeries& l : cap.links) {
+    ResultRecord rec = telemetry_base(task, cap);
+    rec.label = "link";
+    rec.extra = "axis=window;sw=" + fmt_i64(l.sw) + ";port=" + fmt_i64(l.port) +
+                ";to=" + fmt_i64(l.to);
+    rec.series = l.phits;
+    rec.packets = l.total; // cumulative phits, for sorting hottest links
+    rows.push_back(std::move(rec));
+  }
+
+  // Cumulative per-router instruments: series index = switch id.
+  struct RouterMetric {
+    const char* label;
+    const std::vector<std::int64_t>* values;
+  };
+  const RouterMetric kRouterMetrics[] = {
+      {"router_injections", &cap.router_injections},
+      {"router_ejections", &cap.router_ejections},
+      {"router_escape_entries", &cap.router_escape_entries},
+      {"router_credit_stalls", &cap.router_credit_stalls},
+      {"router_occupancy_hwm", &cap.router_occupancy_hwm},
+  };
+  if (cap.window > 0) {
+    for (const RouterMetric& m : kRouterMetrics) {
+      ResultRecord rec = telemetry_base(task, cap);
+      rec.label = m.label;
+      rec.extra = "axis=router";
+      rec.series = *m.values;
+      rows.push_back(std::move(rec));
+    }
+    ResultRecord rec = telemetry_base(task, cap);
+    rec.label = "vc_grants";
+    rec.extra = "axis=vc";
+    rec.series = cap.vc_grants;
+    rows.push_back(std::move(rec));
+  }
+
+  // Trace summary: the sampled-hop totals (the hops themselves export
+  // through trace_chrome_json / trace_jsonl, not the CSV).
+  if (cap.trace_sample > 0) {
+    ResultRecord rec = telemetry_base(task, cap);
+    rec.label = "trace";
+    rec.extra = "sample=" + fmt_i64(cap.trace_sample) +
+                ";hops=" + fmt_i64(static_cast<std::int64_t>(cap.hops.size())) +
+                ";dropped=" + fmt_i64(cap.trace_dropped);
+    rows.push_back(std::move(rec));
+  }
+  return rows;
 }
 
 void ResultSink::add_row(const ResultRow& row, std::uint64_t seed,

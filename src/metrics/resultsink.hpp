@@ -39,7 +39,8 @@ namespace hxsp {
 struct ResultRecord {
   std::string driver;        ///< emitting bench driver, e.g. "fig10_completion"
   std::string task_id;       ///< TaskSpec id ("" for non-task records)
-  std::string kind = "rate"; ///< rate|completion|dynamic|workload|graph|info
+  std::string kind = "rate"; ///< rate|completion|dynamic|workload|
+                             ///< multitenant|tenant|telemetry|graph|info
   std::string label;         ///< driver context, e.g. a shape or root name
   std::string mechanism;     ///< display name, e.g. "PolSP" ("" when n/a)
   std::string pattern;       ///< traffic pattern ("" when n/a)
@@ -94,6 +95,21 @@ ResultRecord make_record(const TaskSpec& task, const TaskResult& result);
 /// marker (see run_manifest).
 std::vector<ResultRecord> make_records(const TaskSpec& task,
                                        const TaskResult& result);
+
+struct TelemetryCapture; // telemetry/capture.hpp
+
+/// Maps one task's TelemetryCapture onto the shared schema as
+/// kind="telemetry" rows: one row per windowed metric (label names the
+/// metric, series holds one value per window, series_width is the
+/// telemetry window in cycles, extra carries the axis), one row per
+/// directed link (label="link", extra names sw/port/to) when the per-link
+/// series was kept, per-router/per-VC cumulative rows (axis=router /
+/// axis=vc), and a label="trace" summary row when tracing was on. Empty
+/// when the capture recorded nothing. These rows go to a *separate*
+/// artefact (hxsp_runner --telemetry-csv), never into the main result
+/// CSV — which is how telemetry on/off keeps the main CSV byte-identical.
+std::vector<ResultRecord> make_telemetry_records(const TaskSpec& task,
+                                                 const TelemetryCapture& cap);
 
 /// Collects ResultRecords for one driver and serializes them. The CSV
 /// and JSON carry exactly the same records; parse_csv/parse_json invert

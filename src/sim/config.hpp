@@ -36,6 +36,27 @@ struct SimConfig {
   Cycle audit_interval = 0;
 #endif
 
+  /// Close a telemetry window every this many cycles: per-window
+  /// throughput, latency percentiles, hop-kind counts and per-link
+  /// utilization collected by the per-Network TelemetryRegistry (see
+  /// telemetry/telemetry.hpp). 0 disables — no registry is allocated and
+  /// the step paths pay one null-pointer compare per hook. Like the
+  /// auditor, telemetry observes and never mutates: enabling it cannot
+  /// change any simulation result.
+  Cycle telemetry_window = 0;
+
+  /// Sample packets whose id is a multiple of this modulus for per-hop
+  /// path tracing (telemetry/trace.hpp): (cycle, router, port, VC,
+  /// event) records exportable as Chrome-trace JSON / JSONL. Keyed on
+  /// packet ids — never an RNG, never a clock — so traces are part of
+  /// the bit-identity contract. 0 disables; 1 traces every packet.
+  int trace_sample = 0;
+
+  /// Keep a ring of the most recent engine events this deep, dumped to
+  /// stderr when an HXSP_CHECK / auditor / watchdog failure aborts the
+  /// run (telemetry/flight_recorder.hpp). 0 disables.
+  int flight_recorder = 0;
+
   /// Derived: input buffer capacity in phits.
   int input_buffer_phits() const { return input_buffer_packets * packet_length; }
 
@@ -57,7 +78,10 @@ inline bool operator==(const SimConfig& a, const SimConfig& b) {
          a.xbar_speedup == b.xbar_speedup && a.num_vcs == b.num_vcs &&
          a.server_queue_packets == b.server_queue_packets &&
          a.watchdog_cycles == b.watchdog_cycles &&
-         a.audit_interval == b.audit_interval;
+         a.audit_interval == b.audit_interval &&
+         a.telemetry_window == b.telemetry_window &&
+         a.trace_sample == b.trace_sample &&
+         a.flight_recorder == b.flight_recorder;
 }
 inline bool operator!=(const SimConfig& a, const SimConfig& b) {
   return !(a == b);

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <limits>
 
+#include "telemetry/capture.hpp"
 #include "util/log.hpp"
 #include "util/thread_pool.hpp"
 #include "workload/run.hpp"
@@ -46,6 +47,25 @@ Network::Network(const NetworkContext& ctx, RoutingMechanism& mech,
   HXSP_CHECK(cfg_.audit_interval >= 0);
   next_audit_ = cfg_.audit_interval > 0 ? cfg_.audit_interval
                                         : std::numeric_limits<Cycle>::max();
+
+  // Observability (src/telemetry/): each instrument exists only when its
+  // knob is on, so the hook sites in the step paths cost one null compare
+  // in the default configuration.
+  HXSP_CHECK(cfg_.telemetry_window >= 0 && cfg_.trace_sample >= 0 &&
+             cfg_.flight_recorder >= 0);
+  if (cfg_.telemetry_window > 0)
+    telemetry_ = std::make_unique<TelemetryRegistry>(
+        *ctx_.graph, cfg_.telemetry_window, cfg_.num_vcs);
+  next_telemetry_ = cfg_.telemetry_window > 0
+                        ? cfg_.telemetry_window
+                        : std::numeric_limits<Cycle>::max();
+  if (cfg_.trace_sample > 0)
+    tracer_ = std::make_unique<PacketTracer>(cfg_.trace_sample);
+  if (cfg_.flight_recorder > 0)
+    flight_ = std::make_unique<FlightRecorder>(
+        cfg_.flight_recorder, seed,
+        std::vector<std::string>{"InDrainDone", "CreditRouter",
+                                 "CreditServer", "OutTailGone", "Consume"});
 }
 
 void Network::set_offered_load(double load) {
@@ -69,6 +89,9 @@ void Network::handle_consume(const Event& ev, PooledRing<Event>& next) {
   const ServerId dst = ev.a;
   metrics_.on_consumed(dst, ev.aux, now_);
   if (timeseries_) timeseries_->add(now_, cfg_.packet_length);
+  if (telemetry_)
+    telemetry_->on_eject(dst / servers_per_switch_, now_ - ev.aux,
+                         cfg_.packet_length);
   on_packet_destroyed();
   note_progress();
   // Workload mode: attribute the consumption to its message, which
@@ -140,6 +163,17 @@ void Network::process_events() {
   PooledRing<Event>& slot =
       wheel_[static_cast<std::size_t>(now_ & (kWheelSize - 1))];
   if (slot.empty()) return;
+  // Flight recorder: remember the slot's events before applying them (a
+  // serial pre-pass, so the ring order is the application order even when
+  // the sharded path below fans out).
+  if (flight_) {
+    slot.for_each([&](const Event& ev) {
+      const bool router_target = ev.kind != Event::Kind::CreditServer &&
+                                 ev.kind != Event::Kind::Consume;
+      flight_->record(now_, static_cast<std::uint8_t>(ev.kind), ev.a,
+                      ev.port, ev.vc, ev.aux, router_target);
+    });
+  }
   // Every credit this slot emits lands exactly one cycle ahead, so the
   // destination slot is resolved once and pushed into directly — the
   // coalesced form of the per-event schedule(now_ + 1, ...) calls. The
@@ -226,8 +260,12 @@ void Network::process_events() {
 void Network::deliver(PacketPtr pkt, SwitchId sw, Port port, Vc vc, Cycle head,
                       Cycle tail) {
   mech_.on_arrival(ctx_, *pkt, sw);
+  if (tracer_) tracer_->record(TraceEvent::kArrive, head, pkt->id, sw, port, vc);
   routers_[static_cast<std::size_t>(sw)].push_input(*this, std::move(pkt), port,
                                                     vc, head, tail);
+  if (telemetry_)
+    telemetry_->on_occupancy(
+        sw, routers_[static_cast<std::size_t>(sw)].input(port, vc).occupancy);
 }
 
 void Network::consume_at(PacketPtr pkt, Cycle when, Vc vc) {
@@ -239,6 +277,11 @@ void Network::consume_at(PacketPtr pkt, Cycle when, Vc vc) {
   const Port eject =
       routers_[static_cast<std::size_t>(pkt->dst_switch)].first_server_port() +
       static_cast<Port>(pkt->dst_server % servers_per_switch_);
+  // Trace here rather than in handle_consume: the Consume event does not
+  // carry the packet id. `when` is the cycle the tail phit is consumed.
+  if (tracer_)
+    tracer_->record(TraceEvent::kEject, when, pkt->id, pkt->dst_switch, eject,
+                    vc);
   schedule(when, {Event::Kind::Consume, vc, eject, pkt->dst_server,
                   pkt->created, pkt->msg});
   // The packet object dies here; the Consume event carries what remains.
@@ -273,6 +316,7 @@ void Network::commit_link_stages() {
         const PortInfo& pi = ctx_.graph->port(t.src, t.port);
         HXSP_DCHECK(ctx_.graph->link_alive(pi.link));
         link_stats_.on_transmit(t.src, t.port, len);
+        if (telemetry_) telemetry_->on_transmit(t.src, t.port, len);
         deliver(std::move(t.pkt), pi.neighbor, pi.remote_port, t.vc, head,
                 tail);
       } else {
@@ -293,6 +337,12 @@ void Network::step() {
   if (now_ == next_audit_) {
     run_audit();
     next_audit_ += cfg_.audit_interval;
+  }
+  // Telemetry window rollover: the same one-compare gate as the auditor
+  // (next_telemetry_ is max() when telemetry is off).
+  if (now_ == next_telemetry_) {
+    telemetry_->roll(now_);
+    next_telemetry_ += cfg_.telemetry_window;
   }
   // Phase profiling (attach_phase_times): one predictable branch per
   // phase boundary when detached; the injected clock never feeds back
@@ -430,6 +480,21 @@ void Network::on_link_failed(LinkId failed) {
   packets_in_system_ -= lost;
   for (auto& r : routers_) r.on_tables_rebuilt();
   note_progress(); // recovery counts as progress for the watchdog
+}
+
+void Network::export_telemetry(TelemetryCapture& out) {
+  out = TelemetryCapture{};
+  out.packet_length = cfg_.packet_length;
+  out.num_servers = num_servers();
+  if (telemetry_) {
+    telemetry_->flush(now_); // close the partial tail window (idempotent)
+    telemetry_->export_to(out);
+  }
+  if (tracer_) {
+    out.trace_sample = tracer_->sample();
+    out.trace_dropped = tracer_->dropped();
+    out.hops = tracer_->hops();
+  }
 }
 
 bool Network::run_until_drained(Cycle max_cycles) {

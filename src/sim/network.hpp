@@ -29,6 +29,9 @@
 #include "sim/config.hpp"
 #include "sim/router.hpp"
 #include "sim/server.hpp"
+#include "telemetry/flight_recorder.hpp"
+#include "telemetry/telemetry.hpp"
+#include "telemetry/trace.hpp"
 #include "traffic/pattern.hpp"
 #include "util/check.hpp"
 #include "util/ringbuf.hpp"
@@ -38,6 +41,7 @@ namespace hxsp {
 
 class ThreadPool;    // util/thread_pool.hpp
 class MessageSource; // workload/run.hpp
+struct TelemetryCapture; // telemetry/capture.hpp
 
 /// Inserts \p x into sorted \p v (no duplicates expected). Shared by the
 /// engine's active-set lists: network-level router ids and router-level
@@ -179,6 +183,22 @@ class Network {
 
   /// Optional sink for a consumed-phits time series (Fig 10). May be null.
   void attach_timeseries(TimeSeries* ts) { timeseries_ = ts; }
+
+  // --- telemetry (src/telemetry/, all knobs off by default) ---------------
+
+  /// The windowed instrument registry, or null when
+  /// SimConfig::telemetry_window == 0. Hook sites in the serial step
+  /// phases gate on this pointer — one compare when telemetry is off.
+  TelemetryRegistry* telemetry() { return telemetry_.get(); }
+
+  /// The sampled packet tracer, or null when SimConfig::trace_sample == 0.
+  PacketTracer* tracer() { return tracer_.get(); }
+
+  /// Copies the run's telemetry frames, per-router/per-link/per-VC
+  /// counters and sampled trace hops into \p out (overwriting it),
+  /// closing a partial tail window first. Reads engine state only —
+  /// calling it cannot change subsequent simulation behaviour.
+  void export_telemetry(TelemetryCapture& out);
 
   // --- queries -------------------------------------------------------------
 
@@ -367,6 +387,12 @@ class Network {
 
   SimMetrics metrics_;
   LinkStats link_stats_;
+  /// Telemetry instruments (telemetry/): allocated in the constructor only
+  /// when the matching SimConfig knob is non-zero, so every hook site in
+  /// the step paths costs a single null compare when observability is off.
+  std::unique_ptr<TelemetryRegistry> telemetry_;
+  std::unique_ptr<PacketTracer> tracer_;
+  std::unique_ptr<FlightRecorder> flight_;
   TimeSeries* timeseries_ = nullptr;
   MessageSource* workload_ = nullptr;
   ThreadPool* step_pool_ = nullptr; ///< borrowed; null = serial stepping
@@ -384,6 +410,9 @@ class Network {
   /// Next cycle the invariant auditor fires (max() when auditing is off),
   /// so the per-step cost of the disabled auditor is one compare.
   Cycle next_audit_ = 0;
+  /// Next cycle the telemetry window rolls (max() when telemetry is off) —
+  /// the same one-compare gate as the auditor.
+  Cycle next_telemetry_ = 0;
   long packets_in_system_ = 0;
   /// Completion-mode packets not yet generated, summed over all servers;
   /// packets_in_system_ + completion_outstanding_ == 0 means fully

@@ -267,6 +267,19 @@ void Router::alloc_phase(Network& net, Cycle now) {
       if (ov.q.empty())
         out_head_[vc_index(out_port, req.out_vc)] = pkt->buf_head;
 
+      // Telemetry: before commit_hop mutates pkt->in_escape, so an escape
+      // grant of a packet not yet on the escape counts as a SurePath
+      // activation. Server-port grants carry no hop semantics (the
+      // switch-port branch below mirrors the metrics hook).
+      if (TelemetryRegistry* const t = net.telemetry()) {
+        if (out_port < num_switch_ports_)
+          t->on_grant(id_, req.out_vc, req.escape, req.forced,
+                      req.escape && !pkt->in_escape);
+      }
+      if (PacketTracer* const tr = net.tracer())
+        tr->record(TraceEvent::kGrant, now, pkt->id, id_, out_port,
+                   req.out_vc);
+
       if (out_port < num_switch_ports_) {
         const Candidate cand{out_port, req.out_vc, 0, req.escape,
                              req.escape_down};
@@ -311,6 +324,8 @@ void Router::link_phase(Network& net, Cycle now) {
         const PortInfo& pi = net.ctx().graph->port(id_, p);
         HXSP_DCHECK(net.ctx().graph->link_alive(pi.link));
         net.link_stats().on_transmit(id_, p, len);
+        if (TelemetryRegistry* const t = net.telemetry())
+          t->on_transmit(id_, p, len);
         net.deliver(std::move(pkt), pi.neighbor, pi.remote_port,
                     static_cast<Vc>(v), head, tail);
       } else {

@@ -108,7 +108,13 @@ void Server::injection_phase(Network& net, Cycle now) {
       best = v;
     }
   }
-  if (best == kInvalid) return;
+  if (best == kInvalid) {
+    // A packet is ready and the link is free, but no legal VC holds a
+    // whole packet's worth of credits: a credit stall.
+    if (TelemetryRegistry* const t = net.telemetry())
+      t->on_credit_stall(switch_);
+    return;
+  }
 
   PacketPtr pkt = queue_.pop_front();
   pkt->injected = now;
@@ -119,6 +125,9 @@ void Server::injection_phase(Network& net, Cycle now) {
   HXSP_DCHECK(inject_port_ != kInvalid);
   const Cycle head = now + net.cfg().link_latency;
   const Cycle tail = head + len - 1;
+  if (TelemetryRegistry* const t = net.telemetry()) t->on_inject(switch_);
+  if (PacketTracer* const tr = net.tracer())
+    tr->record(TraceEvent::kInject, now, pkt->id, switch_, inject_port_, best);
   net.deliver(std::move(pkt), switch_, inject_port_, best, head, tail);
   net.note_progress();
 }

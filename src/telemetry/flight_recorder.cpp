@@ -1,0 +1,100 @@
+/// \file flight_recorder.cpp
+/// FlightRecorder ring dump and the process-wide abort hook.
+///
+/// The registry below is the one deliberately mutable piece of process
+/// state in the engine: a list of the live recorders so the abort path
+/// can find them. It is diagnostic-only — nothing in it ever feeds back
+/// into a simulation decision, so it cannot perturb determinism — and
+/// it is mutated only under a mutex from Network construction and
+/// destruction (never from step hot paths).
+
+#include "telemetry/flight_recorder.hpp"
+
+#include <cinttypes>
+#include <mutex>
+#include <set>
+
+#include "util/check.hpp"
+
+namespace hxsp {
+
+namespace {
+
+std::mutex& registry_mutex() {
+  static std::mutex m; // det-lint: allow(mutable-static) dump-only registry lock
+  return m;
+}
+
+std::vector<FlightRecorder*>& registry() {
+  static std::vector<FlightRecorder*> r; // det-lint: allow(mutable-static) dump-only recorder list
+  return r;
+}
+
+} // namespace
+
+FlightRecorder::FlightRecorder(int depth, std::uint64_t tag,
+                               std::vector<std::string> kind_names)
+    : tag_(tag), kind_names_(std::move(kind_names)) {
+  HXSP_CHECK(depth > 0);
+  ring_.resize(static_cast<std::size_t>(depth));
+  const std::lock_guard<std::mutex> lock(registry_mutex());
+  registry().push_back(this);
+}
+
+FlightRecorder::~FlightRecorder() {
+  const std::lock_guard<std::mutex> lock(registry_mutex());
+  std::vector<FlightRecorder*>& r = registry();
+  for (std::size_t i = 0; i < r.size(); ++i) {
+    if (r[i] == this) {
+      r.erase(r.begin() + static_cast<std::ptrdiff_t>(i));
+      break;
+    }
+  }
+}
+
+void FlightRecorder::dump(std::FILE* f) const {
+  std::fprintf(f,
+               "hxsp flight recorder (seed %" PRIu64 "): last %zu engine "
+               "events before abort\n",
+               tag_, size_);
+  std::set<std::int32_t> routers;
+  for (std::size_t i = 0; i < size_; ++i) {
+    // Oldest first: when the ring wrapped, next_ points at the oldest.
+    const std::size_t at =
+        size_ < ring_.size() ? i : (next_ + i) % ring_.size();
+    const FlightEntry& e = ring_[at];
+    const char* kind = e.kind < kind_names_.size()
+                           ? kind_names_[e.kind].c_str()
+                           : "?";
+    std::fprintf(f,
+                 "  [cycle %" PRId64 "] %s %s=%d port=%d vc=%d aux=%" PRId64
+                 "\n",
+                 static_cast<std::int64_t>(e.cycle), kind,
+                 e.router_target ? "router" : "server", e.target, e.port,
+                 e.vc, static_cast<std::int64_t>(e.aux));
+    if (e.router_target) routers.insert(e.target);
+  }
+  std::fprintf(f, "hxsp flight recorder (seed %" PRIu64 ") routers touched:",
+               tag_);
+  for (const std::int32_t r : routers) std::fprintf(f, " %d", r);
+  std::fprintf(f, "\n");
+}
+
+namespace detail {
+
+void dump_flight_recorders_on_abort() {
+  // Re-entrancy guard: if dumping itself ever trips a check, abort with
+  // the original message instead of recursing.
+  static bool dumping = false; // det-lint: allow(mutable-static) abort-path re-entrancy guard
+  if (dumping) return;
+  dumping = true;
+  const std::lock_guard<std::mutex> lock(registry_mutex());
+  for (const FlightRecorder* rec : registry()) {
+    if (rec->size() > 0) rec->dump(stderr);
+  }
+  std::fflush(stderr);
+  dumping = false;
+}
+
+} // namespace detail
+} // namespace hxsp

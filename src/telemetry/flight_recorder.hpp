@@ -1,0 +1,82 @@
+#pragma once
+/// \file flight_recorder.hpp
+/// Bounded ring of recent engine events, dumped on abort.
+///
+/// Every Network built with `SimConfig::flight_recorder > 0` keeps the
+/// last N engine events (the calendar-wheel entries its step loop
+/// applied). When an HXSP_CHECK fails — an auditor violation, a
+/// watchdog stall, any invariant break — `check_failed` calls
+/// hxsp::detail::dump_flight_recorders_on_abort(), which writes every
+/// live recorder's ring to stderr before std::abort(), turning a bare
+/// abort message into the event history that led up to it.
+///
+/// The recorder is diagnostic-only: record() appends to a preallocated
+/// ring owned by the Network's thread, nothing ever reads it during a
+/// healthy run, and a Network with the knob at 0 pays one null-pointer
+/// compare per applied event slot.
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace hxsp {
+
+/// One remembered engine event. Mirrors sim/network.hpp's Event but
+/// without depending on it (this header is included by network.hpp).
+struct FlightEntry {
+  Cycle cycle = 0;         ///< cycle the event was applied
+  Cycle aux = 0;           ///< event payload (e.g. creation cycle)
+  std::int32_t target = 0; ///< router id, or server id for server events
+  std::int32_t port = 0;
+  std::int32_t vc = 0;
+  std::uint8_t kind = 0;          ///< index into the owner's kind names
+  bool router_target = false;     ///< target is a router (not a server)
+};
+
+/// Fixed-capacity event ring registered with a process-wide dump list.
+class FlightRecorder {
+ public:
+  /// \p depth     ring capacity (most recent events win)
+  /// \p tag       owner label for the dump header (the Network's seed)
+  /// \p kind_names printable names indexed by FlightEntry::kind
+  FlightRecorder(int depth, std::uint64_t tag,
+                 std::vector<std::string> kind_names);
+  ~FlightRecorder();
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  void record(Cycle cycle, std::uint8_t kind, std::int32_t target,
+              std::int32_t port, std::int32_t vc, Cycle aux,
+              bool router_target) {
+    FlightEntry& e = ring_[next_];
+    e.cycle = cycle;
+    e.aux = aux;
+    e.target = target;
+    e.port = port;
+    e.vc = vc;
+    e.kind = kind;
+    e.router_target = router_target;
+    next_ = (next_ + 1) % ring_.size();
+    if (size_ < ring_.size()) ++size_;
+  }
+
+  /// Writes this recorder's ring (oldest first) to \p f: one line per
+  /// event plus a single-line "routers touched" summary, so a death-test
+  /// regex can match without spanning newlines.
+  void dump(std::FILE* f) const;
+
+  std::size_t size() const { return size_; }
+
+ private:
+  std::uint64_t tag_;
+  std::vector<std::string> kind_names_;
+  std::vector<FlightEntry> ring_;
+  std::size_t next_ = 0;
+  std::size_t size_ = 0;
+};
+
+} // namespace hxsp

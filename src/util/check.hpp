@@ -10,10 +10,17 @@
 #include <cstdlib>
 
 namespace hxsp::detail {
+/// Defined in telemetry/flight_recorder.cpp (every target links the hxsp
+/// library): writes each live FlightRecorder's ring of recent engine
+/// events to stderr. A no-op unless some Network enabled
+/// SimConfig::flight_recorder, so plain aborts stay terse.
+void dump_flight_recorders_on_abort();
+
 [[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
                                       const char* msg) {
   std::fprintf(stderr, "hxsp check failed: %s\n  at %s:%d\n  %s\n", expr, file, line,
                msg ? msg : "");
+  dump_flight_recorders_on_abort();
   std::abort();
 }
 } // namespace hxsp::detail

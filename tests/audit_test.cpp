@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <utility>
 
 #include "harness/experiment.hpp"
@@ -130,6 +131,54 @@ TEST(AuditDeath, CorruptionCaughtByPeriodicAuditDuringRun) {
   LoadedNet l(64);
   l.net.router(3).corrupt_output_for_test(1).score_sum += 7;
   EXPECT_DEATH(l.net.run_cycles(128), "audit");
+}
+
+// --- flight recorder dumps (death tests) ------------------------------------
+//
+// With SimConfig::flight_recorder on, the abort path of HXSP_CHECK dumps
+// the network's recent engine events to stderr before dying — an audit
+// violation therefore comes with the context that led up to it.
+
+/// LoadedNet with the flight recorder armed; a deep ring so the recent
+/// window provably covers events at every router of the 4x4 fabric.
+struct RecordedNet {
+  explicit RecordedNet(Cycle audit_interval) : e(make(audit_interval)) {
+    ExperimentSpec s = make(audit_interval);
+    net = std::make_unique<Network>(e.context(), e.mechanism(), e.traffic(),
+                                    s.sim, 2, 11);
+    net->set_offered_load(0.6);
+    net->run_cycles(500);
+  }
+  static ExperimentSpec make(Cycle audit_interval) {
+    ExperimentSpec s = audit_spec(audit_interval);
+    s.sim.flight_recorder = 1024;
+    return s;
+  }
+  Experiment e;
+  std::unique_ptr<Network> net;
+};
+
+TEST(AuditDeath, AbortDumpsFlightRecorder) {
+  RecordedNet r(0);
+  r.net->router(0).corrupt_output_for_test(0).score_sum += 3;
+  // The check message and the dump header both reach stderr.
+  EXPECT_DEATH(r.net->run_audit(), "hxsp flight recorder");
+}
+
+TEST(AuditDeath, FlightDumpNamesTheFailingRouter) {
+  RecordedNet r(0);
+  r.net->router(0).corrupt_output_for_test(0).score_sum += 3;
+  // The summary line lists every router with recent events; a 1024-deep
+  // ring over a loaded 16-switch fabric includes the corrupted router 0.
+  EXPECT_DEATH(r.net->run_audit(), "routers touched: 0 1 ");
+}
+
+TEST(AuditDeath, PeriodicAuditAbortCarriesFlightDump) {
+  // End-to-end: the in-run audit trip (not a manual run_audit) also
+  // goes through the dumping abort path.
+  RecordedNet r(64);
+  r.net->router(3).corrupt_output_for_test(1).score_sum += 7;
+  EXPECT_DEATH(r.net->run_cycles(128), "hxsp flight recorder");
 }
 
 } // namespace

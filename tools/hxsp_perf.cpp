@@ -9,7 +9,10 @@
 /// Results are persisted to BENCH_engine.json, merged by --label: an
 /// existing file keeps every entry with a different label, so the file
 /// accumulates a perf trajectory across engine PRs ("seed" vs "pr4" vs
-/// ...). Timing uses thread CPU time and the best of --reps
+/// ...). The file is rewritten (atomic tmp+rename) after every completed
+/// config, so a config that throws mid-grid still leaves the earlier
+/// configs — including their --phase-times rows — on disk.
+/// Timing uses thread CPU time and the best of --reps
 /// repetitions to shave scheduler noise. Rate reps continue one
 /// steady-state Network (each rep times the next `--cycles` window);
 /// drain reps re-run the identical drain from scratch.
@@ -57,6 +60,7 @@
 
 #include <cstdio>
 #include <ctime>
+#include <exception>
 #include <memory>
 #include <string>
 #include <vector>
@@ -426,21 +430,38 @@ int main(int argc, char** argv) {
   std::vector<PerfResult> results;
   for (const PerfConfig& pc : grid) {
     if (!only.empty() && pc.name != only) continue;
-    const PerfResult r =
-        pc.drain_packets > 0
-            ? measure_drain(pc, /*limit=*/2000000, reps, pool.get(),
-                            phase_times)
-            : measure_rate(pc, warmup, timed, reps, pool.get(), phase_times);
+    PerfResult r;
+    try {
+      r = pc.drain_packets > 0
+              ? measure_drain(pc, /*limit=*/2000000, reps, pool.get(),
+                              phase_times)
+              : measure_rate(pc, warmup, timed, reps, pool.get(), phase_times);
+    } catch (const std::exception& ex) {
+      // The completed configs (phase rows included) are already on disk
+      // from the incremental write below — a mid-grid failure must not
+      // discard the measurements that did finish.
+      std::fflush(stdout);
+      std::fprintf(stderr, "hxsp_perf: config %s failed: %s\n",
+                   pc.name.c_str(), ex.what());
+      return 1;
+    }
     std::printf("%-12s %10lld %12.4f %14.0f %14.0f\n", r.name.c_str(),
                 static_cast<long long>(r.cycles), r.wall_seconds,
                 r.cycles_per_sec, r.packets_per_sec);
     if (r.has_phases) print_phases(r);
     std::fflush(stdout);
     results.push_back(r);
+    // Persist after every config, not once at the end: the write is an
+    // atomic tmp+rename merge, so re-writing per config is safe and a
+    // throw (or kill) mid-grid still leaves every completed config —
+    // and its phase breakdown — in the file.
+    if (out != "none")
+      write_bench_json(out, label, grid_name, note, kept, results);
   }
 
   if (out != "none") {
-    write_bench_json(out, label, grid_name, note, kept, results);
+    if (results.empty()) write_bench_json(out, label, grid_name, note, kept,
+                                          results);
     std::printf("wrote %s (label '%s')\n", out.c_str(), label.c_str());
   }
   return 0;

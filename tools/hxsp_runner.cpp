@@ -5,10 +5,16 @@
 ///
 /// Run mode:
 ///   hxsp_runner MANIFEST.json [--shard=i/n] [--jobs=N] [--step-threads=N]
-///               [--csv=out.csv] [--json=out.json] [--quiet]
+///               [--csv=out.csv] [--json=out.json] [--quiet] [--progress]
+///               [--telemetry-csv=F] [--trace-out=F] [--trace-jsonl=F]
 ///   --step-threads attaches a deterministic intra-run step pool of N
 ///   workers to every task's Network (bit-identical at any N, so it
 ///   composes freely with --jobs/--shard without affecting output).
+///   --telemetry-csv / --trace-out / --trace-jsonl write the telemetry
+///   rows, Chrome trace-event JSON and diffable JSONL of the tasks whose
+///   specs enable telemetry_window / trace_sample. Separate artefacts:
+///   the --csv result file is byte-identical with or without them.
+///   --progress prints a stderr heartbeat (done/total + ETA) per task.
 ///   MANIFEST "-" reads the manifest from stdin, so a driver can pipe:
 ///     fig06_random_faults --emit-tasks | hxsp_runner - --csv=out.csv
 ///   --csv is both output and checkpoint: completed task ids are skipped
@@ -20,6 +26,8 @@
 ///   hxsp_runner --merge=out.csv [--json=out.json] shard0.csv shard1.csv...
 ///   Concatenates the shard records and stable-sorts them by task id,
 ///   recovering exactly the uninterrupted single-process output.
+
+#include <ctime>
 
 #include <cstdio>
 #include <string>
@@ -33,6 +41,16 @@ using namespace hxsp;
 
 namespace {
 
+// Monotonic wall clock for the --progress ETA. Lives in the tool, not
+// the library: the deterministic core takes it as an injected function
+// pointer and never calls timing APIs itself.
+double monotonic_seconds() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
 std::string read_stdin() {
   std::string content;
   char buf[1 << 16];
@@ -44,7 +62,10 @@ std::string read_stdin() {
 int usage(const char* prog) {
   std::fprintf(stderr,
                "usage: %s MANIFEST.json|- [--shard=i/n] [--jobs=N] "
-               "[--step-threads=N] [--csv=F] [--json=F] [--quiet]\n"
+               "[--step-threads=N] [--csv=F] [--json=F] [--quiet] "
+               "[--progress]\n"
+               "          [--telemetry-csv=F] [--trace-out=F] "
+               "[--trace-jsonl=F]\n"
                "       %s --merge=out.csv [--json=out.json] shard.csv...\n",
                prog, prog);
   return 2;
@@ -85,6 +106,11 @@ int main(int argc, char** argv) {
   ropts.csv_path = opt.get("csv", "");
   ropts.json_path = opt.get("json", "");
   ropts.quiet = opt.get_bool("quiet", false);
+  ropts.telemetry_csv_path = opt.get("telemetry-csv", "");
+  ropts.trace_json_path = opt.get("trace-out", "");
+  ropts.trace_jsonl_path = opt.get("trace-jsonl", "");
+  ropts.progress = opt.get_bool("progress", false);
+  if (ropts.progress) ropts.now_seconds = &monotonic_seconds;
   opt.warn_unknown();
 
   if (opt.positional().size() != 1) return usage(opt.program().c_str());
